@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark harness.
+
+The c432-class end-to-end pipeline run (ATPG + layout + extraction + gate-
+and switch-level fault simulation) takes a couple of minutes; it is built
+once per session and shared by all figure benches through the pipeline's own
+memoisation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_experiment
+
+
+@pytest.fixture(scope="session")
+def paper_experiment():
+    """The paper's main experiment: c432-class circuit, Y scaled to 0.75."""
+    return run_experiment(ExperimentConfig())
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "paper: reproduces a specific paper figure/table"
+    )

@@ -1,0 +1,62 @@
+"""Ablation — defect clustering vs the Poisson assumption of eq. 3.
+
+The paper takes its yield model from Stapper [2], whose negative-binomial
+statistics include defect *clustering*; eq. 3/11 then assume the Poisson
+limit.  This bench evaluates the clustered generalisation of eq. 3 on the
+measured pipeline data: at the same fault weights and the same coverage
+curve, clustering concentrates undetected defects on chips that already
+failed the test, so the projected defect level drops — i.e. the Poisson
+assumption in the paper's model is *conservative*.
+"""
+
+import pytest
+
+from repro.core import clustered_defect_level, ppm, williams_brown
+from repro.experiments import format_table
+
+
+@pytest.mark.paper
+def test_clustering_ablation(benchmark, paper_experiment):
+    result = paper_experiment
+    total_w = result.realistic_faults.total_weight()
+
+    def evaluate():
+        rows = []
+        for alpha in (0.5, 2.0, 10.0, None):  # None = Poisson (eq. 3)
+            dls = []
+            for k in result.sample_ks:
+                theta = result.theta_at(k)
+                if alpha is None:
+                    dls.append(result.dl_at(k))
+                else:
+                    dls.append(clustered_defect_level(total_w, theta, alpha))
+            rows.append((alpha, dls))
+        return rows
+
+    rows = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+
+    final_index = len(result.sample_ks) - 1
+    table = [
+        [
+            "Poisson (paper, eq. 3)" if alpha is None else f"alpha = {alpha}",
+            f"{ppm(dls[final_index]):8.0f}",
+            f"{ppm(dls[len(dls) // 2]):8.0f}",
+        ]
+        for alpha, dls in rows
+    ]
+    print(
+        "\n"
+        + format_table(
+            ["defect statistics", "final DL (ppm)", "mid-run DL (ppm)"],
+            table,
+            title="Clustering ablation (same weights, same coverage)",
+        )
+    )
+
+    dl_by_alpha = {alpha: dls for alpha, dls in rows}
+    poisson = dl_by_alpha[None]
+    # Stronger clustering -> lower DL, Poisson is the conservative bound.
+    for i in range(len(result.sample_ks)):
+        assert dl_by_alpha[0.5][i] <= dl_by_alpha[2.0][i] + 1e-12
+        assert dl_by_alpha[2.0][i] <= dl_by_alpha[10.0][i] + 1e-12
+        assert dl_by_alpha[10.0][i] <= poisson[i] + 1e-12

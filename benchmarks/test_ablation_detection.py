@@ -1,0 +1,58 @@
+"""Ablation — detection technique vs theta_max and residual defect level.
+
+The paper argues that steady-state voltage testing alone cannot reach 100 %
+defect coverage and that "more elaborated tests, such as current or delay
+tests, must be developed to aim a zero-defect strategy".  This bench
+quantifies that claim on the reproduced experiment: IDDQ-augmented testing
+must raise theta_max substantially and cut the residual defect level.
+"""
+
+import pytest
+
+from repro.core import ppm, residual_defect_level
+from repro.experiments import format_table
+from repro.switchsim import build_coverage
+
+
+@pytest.mark.paper
+def test_detection_technique_ablation(benchmark, paper_experiment):
+    result = paper_experiment
+
+    def build_all():
+        return {
+            tech: build_coverage(
+                result.realistic_faults, result.switch_result, tech
+            )
+            for tech in ("voltage-strict", "voltage", "iddq", "either")
+        }
+
+    curves = benchmark.pedantic(build_all, rounds=1, iterations=1)
+
+    y = result.config.target_yield
+    rows = []
+    for tech, cov in curves.items():
+        rows.append(
+            [
+                tech,
+                f"{cov.theta_max:.4f}",
+                f"{ppm(residual_defect_level(y, cov.theta_max)):.0f}",
+            ]
+        )
+    print(
+        "\n"
+        + format_table(
+            ["technique", "theta_max", "residual DL (ppm)"],
+            rows,
+            title="Detection-technique ablation (Y = 0.75)",
+        )
+    )
+
+    strict = curves["voltage-strict"].theta_max
+    voltage = curves["voltage"].theta_max
+    either = curves["either"].theta_max
+    assert strict <= voltage <= either
+    # Adding IDDQ must recover most of the voltage-undetectable weight.
+    assert either > voltage
+    assert residual_defect_level(y, either) < 0.5 * residual_defect_level(
+        y, voltage
+    )

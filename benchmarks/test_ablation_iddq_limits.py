@@ -1,0 +1,71 @@
+"""Ablation — IDDQ pass/fail limit setting (beyond the paper).
+
+The paper points at current testing as the complement that removes the
+voltage-test residual; in practice an IDDQ screen has a *threshold*, and
+raising it (to tolerate background leakage) surrenders the weak-current
+defects first.  Using the per-fault peak quiescent currents from the
+switch-level simulation, this bench sweeps the limit and reports the
+combined (voltage + IDDQ>limit) defect coverage — the model-based
+limit-setting curve.
+"""
+
+import pytest
+
+from repro.core import ppm, residual_defect_level
+from repro.experiments import format_table
+
+
+@pytest.mark.paper
+def test_iddq_limit_ablation(benchmark, paper_experiment):
+    result = paper_experiment
+    faults = result.realistic_faults
+    total = faults.total_weight()
+    y = result.config.target_yield
+
+    def sweep():
+        outcomes = []
+        for limit in (0.0, 0.05, 0.5, 1.0, 2.5):
+            covered = 0.0
+            for fault in faults:
+                by_voltage = (
+                    result.switch_result.detected_potential(fault) is not None
+                )
+                by_iddq = (
+                    result.switch_result.detected_iddq(fault) is not None
+                    and result.switch_result.iddq_peak_current(fault) > limit
+                )
+                if by_voltage or by_iddq:
+                    covered += fault.weight
+            outcomes.append((limit, covered / total))
+        return outcomes
+
+    outcomes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        [
+            "voltage only" if limit is None else f"IDDQ limit > {limit:.2f}",
+            f"{theta:.4f}",
+            f"{ppm(residual_defect_level(y, theta)):8.0f}",
+        ]
+        for limit, theta in outcomes
+    ]
+    print(
+        "\n"
+        + format_table(
+            ["screen", "theta", "residual DL (ppm)"],
+            rows,
+            title="IDDQ limit-setting ablation (voltage + IDDQ > limit)",
+        )
+    )
+
+    thetas = [theta for _, theta in outcomes]
+    # Raising the limit monotonically surrenders coverage...
+    assert all(a >= b - 1e-12 for a, b in zip(thetas, thetas[1:])), thetas
+    # ...and an ideal (zero-limit) IDDQ screen recovers most of the
+    # voltage-test residual.
+    voltage_only = sum(
+        f.weight
+        for f in faults
+        if result.switch_result.detected_potential(f) is not None
+    ) / total
+    assert thetas[0] > voltage_only

@@ -1,0 +1,82 @@
+"""Ablation — defect-statistics sensitivity of (R, theta_max).
+
+The paper: "When bridging faults are dominant ... the global fault
+susceptibility is lower than the susceptibility exhibited by stuck-at faults
+and thus, R is greater than 1", and conversely the model "can be used ... to
+tune assumed defect statistics in a process line".
+
+This bench reruns the full pipeline under an *open-heavy* density table and
+compares the fitted (R, theta_max) under both voltage-detection semantics.
+The discriminating regime is **strict** (guaranteed-flip) detection: opens
+are sequence-dependent, two-assumption faults there, so shifting weight onto
+them pulls R below the bridge-heavy value and collapses theta_max.  Under
+*potential* semantics an open's unknown level reaching an output already
+counts, which masks the contrast — also reported for completeness.
+"""
+
+import pytest
+
+from repro.core import fit_sousa_model, weighted_defect_level
+from repro.defects import open_heavy_statistics
+from repro.experiments import ExperimentConfig, format_table, run_experiment
+from repro.switchsim import build_coverage
+
+
+def _fit(result, technique):
+    cov = build_coverage(result.realistic_faults, result.switch_result, technique)
+    y = result.config.target_yield
+    points = [
+        (result.T_at(k), weighted_defect_level(y, cov.theta_at(k)))
+        for k in result.sample_ks
+        if result.T_at(k) > 0
+    ]
+    fit = fit_sousa_model([p[0] for p in points], [p[1] for p in points], y)
+    return fit, cov.theta_max
+
+
+@pytest.mark.paper
+def test_defect_statistics_ablation(benchmark, paper_experiment):
+    bridge_heavy = paper_experiment
+
+    def run_open_heavy():
+        return run_experiment(
+            ExperimentConfig(statistics=open_heavy_statistics())
+        )
+
+    open_heavy = benchmark.pedantic(run_open_heavy, rounds=1, iterations=1)
+
+    rows = []
+    results = {}
+    for label, experiment in (
+        ("bridge-heavy (paper)", bridge_heavy),
+        ("open-heavy", open_heavy),
+    ):
+        for technique in ("voltage", "voltage-strict"):
+            fit, theta_max = _fit(experiment, technique)
+            results[(label, technique)] = (fit, theta_max)
+            rows.append(
+                [
+                    label,
+                    technique,
+                    f"{fit.susceptibility_ratio:.2f}",
+                    f"{theta_max:.4f}",
+                ]
+            )
+    print(
+        "\n"
+        + format_table(
+            ["defect statistics", "technique", "fitted R", "measured theta_max"],
+            rows,
+            title="Defect-statistics ablation",
+        )
+    )
+
+    # Bridging dominance drives R above 1 under either semantics.
+    assert results[("bridge-heavy (paper)", "voltage")][0].susceptibility_ratio > 1.2
+    assert results[("bridge-heavy (paper)", "voltage-strict")][0].susceptibility_ratio > 1.2
+    # Under strict semantics, open-domination pulls R down and theta_max down
+    # — the paper's "R tracks the defect mix" claim.
+    fit_open, theta_open = results[("open-heavy", "voltage-strict")]
+    fit_bridge, theta_bridge = results[("bridge-heavy (paper)", "voltage-strict")]
+    assert fit_open.susceptibility_ratio < fit_bridge.susceptibility_ratio
+    assert theta_open < theta_bridge

@@ -1,0 +1,38 @@
+"""Fig. 1 — analytic coverage-growth curves T(k) and theta(k).
+
+Paper setting: ``s_T = e^3``, ``s_theta = e^(3/2)``, ``theta_max = 0.96``,
+k up to 1e6.  Expected shape: theta(k) rises faster than T(k) (R = 2) and
+saturates at theta_max while T keeps creeping toward 1.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import figure1_coverage_growth
+
+
+@pytest.mark.paper
+def test_fig1_coverage_growth(benchmark):
+    data = benchmark.pedantic(
+        figure1_coverage_growth, rounds=1, iterations=1
+    )
+    print("\n" + data.render)
+    print(f"paper: R = 2.0, theta_max = 0.96")
+    print(
+        f"repro: R = {data.scalars['R']:.2f}, theta_max = {data.scalars['theta_max']:.2f}"
+    )
+
+    assert data.scalars["R"] == pytest.approx(2.0)
+    t_curve = dict(data.series["T(k)"])
+    theta_curve = dict(data.series["theta(k)"])
+    # theta leads T until T itself approaches the theta_max ceiling (R > 1)...
+    for k in t_curve:
+        if 1 < k and t_curve[k] < 0.93:
+            assert theta_curve[k] > t_curve[k]
+    # ...but saturates at theta_max while T overtakes it in the far tail.
+    ks = sorted(t_curve)
+    assert theta_curve[ks[-1]] <= 0.96 + 1e-9
+    # T(1e6) = 1 - e^(-ln(1e6)/3) = 0.990: T has overtaken theta_max.
+    assert t_curve[ks[-1]] > theta_curve[ks[-1]]
+    assert t_curve[ks[-1]] > 0.985

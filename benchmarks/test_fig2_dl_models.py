@@ -1,0 +1,34 @@
+"""Fig. 2 — DL(T): Williams-Brown vs the proposed model (eq. 11).
+
+Paper setting: Y = 0.75, R = 2, theta_max = 0.96.  Expected shape: eq. 11
+runs *below* Williams-Brown through the mid-coverage range and crosses above
+it near T = 1, ending at the residual defect level 1 - 0.75**0.04.
+"""
+
+import pytest
+
+from repro.core import residual_defect_level, ppm
+from repro.experiments import figure2_model_curves
+
+
+@pytest.mark.paper
+def test_fig2_model_curves(benchmark):
+    data = benchmark.pedantic(figure2_model_curves, rounds=1, iterations=1)
+    print("\n" + data.render)
+    floor_ppm = ppm(residual_defect_level(0.75, 0.96))
+    print(f"paper: eq.11 below W-B at mid T, crossover near T=1, floor != 0")
+    print(
+        f"repro: crossover_T = {data.scalars['crossover_T']:.2f}, "
+        f"residual = {data.scalars['residual_dl_ppm']:.0f} ppm "
+        f"(analytic {floor_ppm:.0f} ppm)"
+    )
+
+    wb = dict(data.series["Williams-Brown"])
+    eq11 = dict(data.series["eq11"])
+    # Below WB through the mid range...
+    for t in (0.2, 0.4, 0.6, 0.8):
+        assert eq11[t] < wb[t]
+    # ...crossing above close to full coverage, with a non-zero floor.
+    assert eq11[1.0] > wb[1.0] == 0.0
+    assert data.scalars["residual_dl_ppm"] == pytest.approx(floor_ppm, rel=1e-6)
+    assert 0.9 <= data.scalars["crossover_T"] <= 1.0

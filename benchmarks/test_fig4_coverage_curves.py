@@ -1,0 +1,50 @@
+"""Fig. 4 — measured coverage curves T(k), theta(k), Gamma(k).
+
+Paper observations for its c432 experiment (in susceptibility terms,
+``s_Gamma > s_T > s_theta``):
+
+* the *weighted* realistic coverage theta(k) converges fastest — the defect
+  statistics put the weight on bridging faults, which are easier than the
+  average stuck-at fault;
+* the *unweighted* Gamma(k) converges slowest and stays below T(k) at high k
+  "because of the presence of open faults, which are harder to detect than
+  bridging faults, and are considered with equal likelihood";
+* theta saturates visibly below 1 (incomplete detection technique).
+"""
+
+import pytest
+
+from repro.experiments import figure4_coverage_curves
+
+
+@pytest.mark.paper
+def test_fig4_coverage_curves(benchmark, paper_experiment):
+    data = benchmark.pedantic(figure4_coverage_curves, rounds=1, iterations=1)
+    print("\n" + data.render)
+    print("paper: s_Gamma > s_T > s_theta; theta_max < 1; T -> 1")
+    print(
+        f"repro: final T = {data.scalars['final_T']:.3f}, "
+        f"theta_max = {data.scalars['theta_max']:.3f}, "
+        f"final Gamma = {data.scalars['final_gamma']:.3f}"
+    )
+
+    t = dict((k, v) for k, v in data.series["T(k)"])
+    theta = dict((k, v) for k, v in data.series["theta(k)"])
+    gamma = dict((k, v) for k, v in data.series["Gamma(k)"])
+    ks = sorted(t)
+    mid = [k for k in ks if 5 <= k <= 0.6 * ks[-1]]
+
+    # theta leads T over the bulk of the run (weighted bridges are easy);
+    # T catches up only as theta nears its ceiling.
+    lead = sum(1 for k in mid if theta[k] > t[k])
+    assert lead >= 0.7 * len(mid)
+    # Gamma trails T at high vector counts (equal-weighted hard opens).
+    tail = [k for k in ks if k >= 0.5 * ks[-1]]
+    assert all(gamma[k] < t[k] for k in tail)
+    # Saturation below 1; the stuck-at set is fully covered.
+    assert data.scalars["theta_max"] < 0.97
+    assert data.scalars["final_T"] >= 0.999
+    assert data.scalars["final_gamma"] < data.scalars["final_T"]
+    # The random prefix dominates the sequence, as in the paper ("more than
+    # 80% fault coverage is in general achieved with random vectors").
+    assert data.scalars["n_random"] > 0.8 * data.scalars["n_patterns"]

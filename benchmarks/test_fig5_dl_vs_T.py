@@ -1,0 +1,46 @@
+"""Fig. 5 — defect level vs stuck-at coverage: the paper's headline result.
+
+The simulated points ``(T(k), DL(theta(k)))`` must reproduce the concavity
+of measured fallout data: *below* the Williams-Brown curve through the mid
+coverage range (realistic faults are covered faster than stuck-at faults,
+R > 1) and *above* it near T = 1 (residual defect level, theta_max < 1).
+The paper's fit on its layout: R = 1.9, theta_max = 0.96.
+"""
+
+import pytest
+
+from repro.core import williams_brown
+from repro.experiments import figure5_dl_vs_T
+
+
+@pytest.mark.paper
+def test_fig5_dl_vs_T(benchmark, paper_experiment):
+    data = benchmark.pedantic(figure5_dl_vs_T, rounds=1, iterations=1)
+    print("\n" + data.render)
+    print("paper: fitted R = 1.9, theta_max = 0.96; concave below W-B")
+    print(
+        f"repro: fitted R = {data.scalars['R_fit']:.2f}, "
+        f"theta_max = {data.scalars['theta_max_fit']:.3f} "
+        f"(measured theta_max = {data.scalars['measured_theta_max']:.3f}); "
+        f"residual DL = {data.scalars['residual_dl_ppm'] / 1e4:.2f} %"
+    )
+
+    # Susceptibility ratio above 1 — the paper's central qualitative claim.
+    assert data.scalars["R_fit"] > 1.2
+    # Incomplete detection: theta_max < 1 both fitted and measured.
+    assert data.scalars["theta_max_fit"] < 0.99
+    assert data.scalars["measured_theta_max"] < 0.99
+
+    # The simulated points sit below Williams-Brown over mid coverage and
+    # end above it (the residual floor).
+    points = data.series["simulated"]
+    below = [
+        dl < williams_brown(0.75, t) for t, dl in points if 0.15 < t < 0.85
+    ]
+    assert sum(below) >= 0.8 * len(below)
+    final_t, final_dl = points[-1]
+    assert final_dl > williams_brown(0.75, final_t)
+    assert data.scalars["residual_dl_ppm"] > 0
+
+    # The fit describes the simulation well.
+    assert data.scalars["fit_residual"] < 0.05

@@ -1,0 +1,36 @@
+"""Fig. 6 — defect level vs the *unweighted* realistic coverage Gamma.
+
+The paper's control experiment: even with a complete realistic fault list,
+predicting DL from the unweighted coverage (``1 - Y**(1 - Gamma)``) shows the
+same kind of deviation as using stuck-at coverage — the fault set must be
+*weighted* (eq. 4) before eq. 3 predicts DL accurately.
+"""
+
+import pytest
+
+from repro.core import williams_brown
+from repro.experiments import figure6_dl_vs_gamma
+
+
+@pytest.mark.paper
+def test_fig6_dl_vs_gamma(benchmark, paper_experiment):
+    data = benchmark.pedantic(figure6_dl_vs_gamma, rounds=1, iterations=1)
+    print("\n" + data.render)
+    print("paper: unweighted-coverage prediction deviates like fig. 5's")
+    print(
+        f"repro: at final Gamma = {data.scalars['final_gamma']:.3f}, "
+        f"Gamma-predicted DL = {data.scalars['dl_predicted_by_gamma_ppm'] / 1e4:.2f} % vs "
+        f"actual DL = {data.scalars['dl_actual_ppm'] / 1e4:.2f} %"
+    )
+
+    # The unweighted prediction deviates from the weighted (actual) DL.
+    points = data.series["simulated"]
+    deviations = [
+        abs(dl - williams_brown(0.75, g)) / max(dl, 1e-12)
+        for g, dl in points
+        if 0.2 < g < 0.95
+    ]
+    assert max(deviations) > 0.15
+    # The terminal mismatch is substantial in relative terms.
+    ratio = data.scalars["underprediction_factor"]
+    assert abs(ratio - 1.0) > 0.1

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Closing the defect-coverage gap with bridge-targeted vectors.
+
+The paper's experiment stops at theta_max < 1 because the *stuck-at* test
+set misses part of the bridge population.  This example extends the flow the
+way later industrial practice did: take the heaviest still-undetected
+bridges, generate vectors targeted at each (miter-based PODEM under the
+wired-AND model), confirm the candidates against the switch-level simulator,
+and measure how much of the remaining defect mass they recover.
+
+Run:  python examples/bridge_test_topoff.py [benchmark] [n_targets]
+      (default: rca8, 60 targets)
+"""
+
+import sys
+
+from repro.atpg import generate_bridge_tests
+from repro.core import ppm, residual_defect_level
+from repro.defects import BridgeFault
+from repro.experiments import ExperimentConfig, format_table, run_experiment
+from repro.switchsim import SwitchLevelFaultSimulator, build_coverage
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "rca8"
+    n_targets = int(sys.argv[2]) if len(sys.argv) > 2 else 60
+    result = run_experiment(ExperimentConfig(benchmark=name))
+    faults = result.realistic_faults
+    y = result.config.target_yield
+
+    baseline = build_coverage(faults, result.switch_result, "voltage")
+    print(
+        f"baseline: theta_max = {baseline.theta_max:.4f} after "
+        f"{len(result.test_patterns)} stuck-at vectors"
+    )
+
+    # The heaviest undetected, gate-level bridges (internal-node and supply
+    # bridges have no gate-level miter).
+    mapped_nets = set(result.design.mapped.nets)
+    escapes = [
+        f
+        for f in faults
+        if isinstance(f, BridgeFault)
+        and result.switch_result.detected_potential(f) is None
+        and f.net_a in mapped_nets
+        and f.net_b in mapped_nets
+    ]
+    escapes.sort(key=lambda f: -f.weight)
+    targets = [(f.net_a, f.net_b) for f in escapes[:n_targets]]
+    print(f"targeting the {len(targets)} heaviest undetected bridges with ATPG...")
+
+    atpg = generate_bridge_tests(result.design.mapped, targets)
+    print(
+        f"  tested {len(atpg.tested)}, proven untestable {len(atpg.untestable)}, "
+        f"feedback {len(atpg.feedback)}, aborted {len(atpg.aborted)}"
+    )
+
+    # Confirm with the switch-level simulator on the extended sequence.
+    extended = list(result.test_patterns) + atpg.vectors
+    sim = SwitchLevelFaultSimulator(result.design, extended)
+    extended_result = sim.run(faults.faults)
+    topped = build_coverage(faults, extended_result, "voltage")
+
+    rows = [
+        [
+            "stuck-at set (paper)",
+            len(result.test_patterns),
+            f"{baseline.theta_max:.4f}",
+            f"{ppm(residual_defect_level(y, baseline.theta_max)):8.0f}",
+        ],
+        [
+            "+ bridge-targeted vectors",
+            len(extended),
+            f"{topped.theta_max:.4f}",
+            f"{ppm(residual_defect_level(y, topped.theta_max)):8.0f}",
+        ],
+    ]
+    print(
+        "\n"
+        + format_table(
+            ["test set", "vectors", "theta_max", "residual DL (ppm)"],
+            rows,
+        )
+    )
+
+    recovered = topped.theta_max - baseline.theta_max
+    print(
+        f"\nbridge ATPG recovered {100 * recovered:.2f} points of defect "
+        "coverage; what remains is untestable under voltage testing "
+        "(the technique-bound residual the paper's theta_max captures)."
+    )
+
+
+if __name__ == "__main__":
+    main()

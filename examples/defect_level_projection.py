@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""The paper's full experiment on a smaller circuit, in a few minutes.
+
+Runs the complete section-3 pipeline on an 8-bit ripple-carry adder:
+stuck-at ATPG (random prefix + PODEM top-off), layout + fault extraction,
+switch-level fault simulation, yield scaling to Y = 0.75, and finally the
+(R, theta_max) fit of eq. 11 against the simulated DL(T) points.
+
+Run:  python examples/defect_level_projection.py [benchmark]
+      (default: rca8; "c432" reproduces the paper's own scale, ~2 min)
+"""
+
+import sys
+
+from repro.core import ppm, williams_brown
+from repro.experiments import ExperimentConfig, format_table, run_experiment
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "rca8"
+    config = ExperimentConfig(benchmark=name)
+    print(f"running the end-to-end pipeline on {name} (Y scaled to 0.75)...")
+    result = run_experiment(config)
+
+    print(
+        f"  {len(result.test_patterns)} vectors "
+        f"({result.n_random} random + {len(result.test_patterns) - result.n_random} PODEM), "
+        f"{len(result.stuck_faults)} testable stuck-at faults "
+        f"({len(result.redundant_faults)} redundant/aborted excluded), "
+        f"{len(result.realistic_faults.faults)} realistic faults"
+    )
+
+    rows = []
+    for k, T, theta, gamma, dl in result.series()[::2]:
+        rows.append(
+            [
+                k,
+                f"{T:.4f}",
+                f"{theta:.4f}",
+                f"{gamma:.4f}",
+                f"{100 * dl:.2f}%",
+                f"{100 * williams_brown(0.75, T):.2f}%",
+            ]
+        )
+    print(
+        "\n"
+        + format_table(
+            ["k", "T(k)", "theta(k)", "Gamma(k)", "DL(theta)", "W-B DL(T)"],
+            rows,
+            title="Coverage growth and defect level (figs. 4-5)",
+        )
+    )
+
+    fit = result.fit()
+    print("\nfitting eq. 11 to the simulated (T, DL) points:")
+    print(
+        f"  R = {fit.susceptibility_ratio:.2f}, theta_max = {fit.theta_max:.3f} "
+        f"(paper's c432 layout: R = 1.9, theta_max = 0.96)"
+    )
+    print(
+        f"  measured theta_max = {result.theta_max:.3f} -> residual defect level "
+        f"{ppm(result.dl_at(result.sample_ks[-1])):.0f} ppm at T = "
+        f"{100 * result.final_T:.1f}%"
+    )
+
+
+if __name__ == "__main__":
+    main()

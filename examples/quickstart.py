@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: defect-level projection with the paper's model (eq. 11).
+
+Shows the core API in under a minute: the classical Williams-Brown formula,
+the Agrawal multiplicity model, and the proposed two-parameter model with
+its two effects — a susceptibility ratio R > 1 (realistic faults covered
+faster than stuck-at faults) and an incomplete-detection ceiling
+theta_max < 1 (residual defect level).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    agrawal,
+    ppm,
+    required_coverage,
+    required_coverage_williams_brown,
+    residual_defect_level,
+    sousa_defect_level,
+    williams_brown,
+)
+from repro.experiments import format_table
+
+
+def main() -> None:
+    yield_value = 0.75
+    r, theta_max = 1.9, 0.96  # the paper's fitted values for its c432 layout
+
+    print("=== DL(T) under three models (Y = 0.75) ===\n")
+    rows = []
+    for t_pct in (0, 50, 80, 90, 95, 99, 100):
+        t = t_pct / 100
+        rows.append(
+            [
+                f"{t_pct}%",
+                f"{ppm(williams_brown(yield_value, t)):9.0f}",
+                f"{ppm(agrawal(yield_value, t, 3.0)):9.0f}",
+                f"{ppm(sousa_defect_level(yield_value, t, r, theta_max)):9.0f}",
+            ]
+        )
+    print(
+        format_table(
+            ["T", "Williams-Brown (ppm)", "Agrawal n=3 (ppm)", "eq.11 R=1.9 tmax=.96 (ppm)"],
+            rows,
+        )
+    )
+
+    print("\n=== How much coverage do I need for 100 ppm? ===\n")
+    t_wb = required_coverage_williams_brown(yield_value, 100e-6)
+    t_eq11 = required_coverage(yield_value, 100e-6, susceptibility_ratio=2.1)
+    print(f"Williams-Brown says: T = {100 * t_wb:.2f}%  (very stringent)")
+    print(f"eq. 11 (R = 2.1)  says: T = {100 * t_eq11:.2f}%  (the paper's Example 1)")
+
+    print("\n=== And what if my test technique can't see every defect? ===\n")
+    floor = residual_defect_level(yield_value, theta_max)
+    print(
+        f"With theta_max = {theta_max}, even 100% stuck-at coverage leaves a\n"
+        f"residual defect level of {ppm(floor):.0f} ppm "
+        "(the paper's argument for IDDQ/delay tests)."
+    )
+
+
+if __name__ == "__main__":
+    main()

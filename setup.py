@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` needs to build an editable wheel (PEP 660), which the
+offline environment cannot do; ``python setup.py develop`` achieves the same
+editable install through plain setuptools.  All real metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

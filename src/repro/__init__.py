@@ -1,0 +1,26 @@
+"""repro — reproduction of "Fault Modeling and Defect Level Projections in
+Digital ICs" (Sousa, Gonçalves, Teixeira, Williams; DATE 1994).
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: defect-level models (Williams–Brown, Agrawal,
+    weighted realistic, and the proposed two-parameter model), coverage-growth
+    laws, yield models and curve fitting.
+``repro.circuit``
+    Gate-level netlists, the ISCAS ``.bench`` format and benchmark circuits.
+``repro.simulation``
+    Parallel-pattern logic and stuck-at fault simulation.
+``repro.atpg``
+    Random and PODEM deterministic test generation.
+``repro.layout``
+    Procedural CMOS standard-cell layout: cells, placement, 2-metal routing.
+``repro.defects``
+    Spot-defect statistics, critical areas and layout fault extraction (IFA).
+``repro.switchsim``
+    Switch-level simulation of extracted bridge/open faults.
+``repro.experiments``
+    The end-to-end evaluation pipeline and per-figure reproductions.
+"""
+
+__version__ = "1.0.0"

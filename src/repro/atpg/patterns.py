@@ -1,0 +1,144 @@
+"""Test-pattern containers and pseudo-random pattern sources.
+
+The paper's experiment applies a sequence ``t_1 .. t_N`` whose prefix is
+random (a PRPG, as in self-test) and whose tail is deterministically generated
+for the remaining undetected stuck-at faults.  This module provides the
+pattern containers and the PRPG; the generators live in
+:mod:`repro.atpg.random_atpg` and :mod:`repro.atpg.podem`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+__all__ = ["TestSet", "Lfsr", "random_patterns"]
+
+#: Primitive polynomial taps (XOR feedback positions) per LFSR width.
+#: Each entry yields a maximal-length sequence of 2**n - 1 states.
+_PRIMITIVE_TAPS = {
+    3: (3, 2),
+    4: (4, 3),
+    5: (5, 3),
+    6: (6, 5),
+    7: (7, 6),
+    8: (8, 6, 5, 4),
+    9: (9, 5),
+    10: (10, 7),
+    11: (11, 9),
+    12: (12, 11, 10, 4),
+    13: (13, 12, 11, 8),
+    14: (14, 13, 12, 2),
+    15: (15, 14),
+    16: (16, 15, 13, 4),
+    17: (17, 14),
+    18: (18, 11),
+    19: (19, 18, 17, 14),
+    20: (20, 17),
+    24: (24, 23, 22, 17),
+    32: (32, 31, 30, 10),
+}
+
+
+@dataclass
+class TestSet:
+    """An ordered sequence of input vectors with provenance labels.
+
+    Attributes
+    ----------
+    n_inputs:
+        Vector width (number of primary inputs).
+    patterns:
+        The vectors, each a list of 0/1 of length ``n_inputs``.
+    sources:
+        Parallel list recording how each vector was produced
+        (``"random"`` or ``"deterministic"``).
+    """
+
+    n_inputs: int
+    patterns: list[list[int]] = field(default_factory=list)
+    sources: list[str] = field(default_factory=list)
+
+    def append(self, pattern: Sequence[int], source: str = "random") -> None:
+        """Add one vector with its provenance label."""
+        if len(pattern) != self.n_inputs:
+            raise ValueError(
+                f"pattern width {len(pattern)} != n_inputs {self.n_inputs}"
+            )
+        self.patterns.append([int(v) for v in pattern])
+        self.sources.append(source)
+
+    def extend(self, patterns: Sequence[Sequence[int]], source: str) -> None:
+        """Add many vectors sharing one provenance label."""
+        for pattern in patterns:
+            self.append(pattern, source)
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    def __iter__(self) -> Iterator[list[int]]:
+        return iter(self.patterns)
+
+    def __getitem__(self, index: int) -> list[int]:
+        return self.patterns[index]
+
+    @property
+    def n_random(self) -> int:
+        """Number of vectors labelled random."""
+        return sum(1 for s in self.sources if s == "random")
+
+    @property
+    def n_deterministic(self) -> int:
+        """Number of vectors labelled deterministic."""
+        return sum(1 for s in self.sources if s == "deterministic")
+
+
+class Lfsr:
+    """A Fibonacci LFSR pseudo-random pattern generator.
+
+    Produces maximal-length sequences for the tap table widths; other widths
+    fall back to a seeded :mod:`random` stream (still reproducible).
+    """
+
+    def __init__(self, width: int, seed: int = 1):
+        if width < 1:
+            raise ValueError("LFSR width must be positive")
+        self.width = width
+        taps = _PRIMITIVE_TAPS.get(width)
+        self._taps = taps
+        self._rng = random.Random(seed) if taps is None else None
+        mask = (1 << width) - 1
+        self.state = (seed & mask) or 1
+
+    def step(self) -> int:
+        """Advance one state and return the new state as an int."""
+        if self._taps is None:
+            self.state = self._rng.getrandbits(self.width) or 1
+            return self.state
+        feedback = 0
+        for tap in self._taps:
+            feedback ^= (self.state >> (tap - 1)) & 1
+        self.state = ((self.state << 1) | feedback) & ((1 << self.width) - 1)
+        if self.state == 0:
+            self.state = 1
+        return self.state
+
+    def pattern(self) -> list[int]:
+        """Advance and return the state as a bit vector (LSB first)."""
+        state = self.step()
+        return [(state >> i) & 1 for i in range(self.width)]
+
+    def patterns(self, count: int) -> list[list[int]]:
+        """Generate ``count`` consecutive patterns."""
+        return [self.pattern() for _ in range(count)]
+
+
+def random_patterns(
+    n_inputs: int, count: int, seed: int = 1234
+) -> list[list[int]]:
+    """Uniform random vectors from a seeded PRNG (independent bits)."""
+    rng = random.Random(seed)
+    return [
+        [rng.randint(0, 1) for _ in range(n_inputs)] for _ in range(count)
+    ]

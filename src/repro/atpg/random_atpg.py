@@ -1,0 +1,109 @@
+"""Random-pattern test generation with coverage tracking.
+
+Mirrors the paper's setup: "the first vectors are random vectors", achieving
+more than 80 % stuck-at coverage before a deterministic generator tops up the
+test set.  Generation stops when a target coverage is reached, when a run of
+consecutive useless vectors exceeds a patience limit, or at a hard cap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.netlist import Circuit
+from repro.simulation.fault_sim import FaultSimulator
+from repro.simulation.faults import StuckAtFault, collapse_faults
+from repro.atpg.patterns import TestSet, random_patterns
+
+__all__ = ["RandomAtpgResult", "generate_random_tests"]
+
+
+@dataclass
+class RandomAtpgResult:
+    """Outcome of random-pattern generation.
+
+    Attributes
+    ----------
+    test_set:
+        The accepted vectors (useless trailing vectors are kept: the paper's
+        coverage curves need the full applied sequence, hits or not).
+    detected:
+        Faults detected by the sequence.
+    undetected:
+        Faults still undetected (input to deterministic ATPG).
+    coverage:
+        Final stuck-at coverage over the provided fault list.
+    """
+
+    test_set: TestSet
+    detected: list[StuckAtFault]
+    undetected: list[StuckAtFault]
+    coverage: float
+
+
+def generate_random_tests(
+    circuit: Circuit,
+    faults: list[StuckAtFault] | None = None,
+    target_coverage: float = 0.90,
+    max_patterns: int = 2048,
+    patience: int = 256,
+    seed: int = 1234,
+) -> RandomAtpgResult:
+    """Generate random vectors until coverage, patience, or cap is reached.
+
+    Parameters
+    ----------
+    circuit:
+        The combinational circuit under test.
+    faults:
+        Fault list to cover; defaults to the equivalence-collapsed universe.
+    target_coverage:
+        Stop once detected/total reaches this fraction.
+    max_patterns:
+        Hard cap on the number of generated vectors.
+    patience:
+        Stop after this many consecutive vectors that detect nothing new.
+    seed:
+        PRNG seed (results are fully reproducible).
+    """
+    if faults is None:
+        faults = collapse_faults(circuit)
+    simulator = FaultSimulator(circuit)
+    n_inputs = len(circuit.primary_inputs)
+    test_set = TestSet(n_inputs=n_inputs)
+
+    remaining = list(faults)
+    detected: list[StuckAtFault] = []
+    useless_run = 0
+    total = len(faults)
+
+    batch = 64
+    generated = 0
+    while (
+        remaining
+        and generated < max_patterns
+        and useless_run < patience
+        and (total == 0 or len(detected) / total < target_coverage)
+    ):
+        n_here = min(batch, max_patterns - generated)
+        vectors = random_patterns(n_inputs, n_here, seed=seed + generated)
+        generated += n_here
+        result = simulator.run(vectors, faults=remaining)
+        test_set.extend(vectors, "random")
+        if result.first_detection:
+            # Count the useless tail of this batch for patience accounting.
+            last_hit = max(result.first_detection.values())
+            useless_run = n_here - last_hit
+            hits = set(result.first_detection)
+            detected.extend(f for f in remaining if f in hits)
+            remaining = [f for f in remaining if f not in hits]
+        else:
+            useless_run += n_here
+
+    coverage = 1.0 if total == 0 else len(detected) / total
+    return RandomAtpgResult(
+        test_set=test_set,
+        detected=detected,
+        undetected=remaining,
+        coverage=coverage,
+    )

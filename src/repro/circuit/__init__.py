@@ -1,0 +1,50 @@
+"""Gate-level circuit substrate: netlists, parsing, benchmarks, levelization."""
+
+from repro.circuit.alu import alu4, alu_reference
+from repro.circuit.bench_parser import parse_bench, parse_bench_file, write_bench
+from repro.circuit.iscas import (
+    BENCHMARKS,
+    c17,
+    c432_like,
+    decoder,
+    load_benchmark,
+    mux_tree,
+    parity_tree,
+    ripple_carry_adder,
+)
+from repro.circuit.levelize import (
+    circuit_depth,
+    gate_levels,
+    input_cone,
+    levelize,
+    output_cone,
+)
+from repro.circuit.library import GateType, evaluate_gate, evaluate_gate_packed
+from repro.circuit.netlist import Circuit, CircuitError, Gate
+
+__all__ = [
+    "BENCHMARKS",
+    "Circuit",
+    "alu4",
+    "alu_reference",
+    "CircuitError",
+    "Gate",
+    "GateType",
+    "c17",
+    "c432_like",
+    "circuit_depth",
+    "decoder",
+    "evaluate_gate",
+    "evaluate_gate_packed",
+    "gate_levels",
+    "input_cone",
+    "levelize",
+    "load_benchmark",
+    "mux_tree",
+    "output_cone",
+    "parse_bench",
+    "parse_bench_file",
+    "parity_tree",
+    "ripple_carry_adder",
+    "write_bench",
+]

@@ -1,0 +1,112 @@
+"""A 4-bit ALU benchmark circuit (74181-inspired).
+
+A second mid-size benchmark with a very different testability character from
+the interrupt-controller class: arithmetic carry chains plus logic-op
+multiplexing.  Operations (select ``S1 S0``, mode ``M``):
+
+=====  ====  =======================
+M      S     result
+=====  ====  =======================
+0      00    A + B + Cin  (arithmetic)
+0      01    A - B - 1 + Cin  (i.e. A + ~B + Cin)
+1      00    A AND B
+1      01    A OR B
+1      10    A XOR B
+1      11    NOT A
+=====  ====  =======================
+
+Primary inputs: ``A0-3, B0-3, CIN, M, S0, S1`` (12).  Primary outputs:
+``F0-3, COUT`` (5).  The function is checked exhaustively against a Python
+reference in the tests.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.library import GateType
+from repro.circuit.netlist import Circuit
+
+__all__ = ["alu4", "alu_reference"]
+
+
+def alu4() -> Circuit:
+    """Build the 4-bit ALU circuit (~90 gates)."""
+    ckt = Circuit(name="alu4")
+    a = [ckt.add_input(f"A{i}") for i in range(4)]
+    b = [ckt.add_input(f"B{i}") for i in range(4)]
+    cin = ckt.add_input("CIN")
+    mode = ckt.add_input("M")
+    s0 = ckt.add_input("S0")
+    s1 = ckt.add_input("S1")
+
+    nm = _gate(ckt, GateType.NOT, [mode], "NM")
+    ns0 = _gate(ckt, GateType.NOT, [s0], "NS0")
+    ns1 = _gate(ckt, GateType.NOT, [s1], "NS1")
+
+    # Operand B or ~B for the arithmetic path (S0 selects subtract).
+    bops = []
+    for i in range(4):
+        nb = _gate(ckt, GateType.NOT, [b[i]], f"NB{i}")
+        use_b = _gate(ckt, GateType.AND, [b[i], ns0], f"UB{i}")
+        use_nb = _gate(ckt, GateType.AND, [nb, s0], f"UNB{i}")
+        bops.append(_gate(ckt, GateType.OR, [use_b, use_nb], f"BOP{i}"))
+
+    # Ripple-carry adder over A and BOP.
+    carry = cin
+    sums = []
+    for i in range(4):
+        p = _gate(ckt, GateType.XOR, [a[i], bops[i]], f"P{i}")
+        sums.append(_gate(ckt, GateType.XOR, [p, carry], f"SUM{i}"))
+        g1 = _gate(ckt, GateType.AND, [a[i], bops[i]], f"CG{i}")
+        g2 = _gate(ckt, GateType.AND, [p, carry], f"CP{i}")
+        carry = _gate(ckt, GateType.OR, [g1, g2], f"CRY{i + 1}")
+
+    # Logic unit.
+    logic = []
+    for i in range(4):
+        land = _gate(ckt, GateType.AND, [a[i], b[i]], f"LAND{i}")
+        lor = _gate(ckt, GateType.OR, [a[i], b[i]], f"LOR{i}")
+        lxor = _gate(ckt, GateType.XOR, [a[i], b[i]], f"LXOR{i}")
+        lnot = _gate(ckt, GateType.NOT, [a[i]], f"LNOT{i}")
+        sel_and = _gate(ckt, GateType.AND, [land, ns1, ns0], f"SLA{i}")
+        sel_or = _gate(ckt, GateType.AND, [lor, ns1, s0], f"SLO{i}")
+        sel_xor = _gate(ckt, GateType.AND, [lxor, s1, ns0], f"SLX{i}")
+        sel_not = _gate(ckt, GateType.AND, [lnot, s1, s0], f"SLN{i}")
+        logic.append(
+            _gate(
+                ckt, GateType.OR, [sel_and, sel_or, sel_xor, sel_not], f"LOGIC{i}"
+            )
+        )
+
+    # Mode multiplexing and outputs.
+    for i in range(4):
+        arith_side = _gate(ckt, GateType.AND, [sums[i], nm], f"FA{i}")
+        logic_side = _gate(ckt, GateType.AND, [logic[i], mode], f"FL{i}")
+        ckt.add_gate(GateType.OR, [arith_side, logic_side], f"F{i}")
+        ckt.add_output(f"F{i}")
+    ckt.add_gate(GateType.AND, [carry, nm], "COUT")
+    ckt.add_output("COUT")
+
+    ckt.validate()
+    return ckt
+
+
+def alu_reference(
+    a: int, b: int, cin: int, mode: int, select: int
+) -> tuple[int, int]:
+    """Reference function: returns (F as 4-bit int, COUT)."""
+    if mode == 0:
+        operand = (~b & 0xF) if select & 1 else b
+        total = a + operand + cin
+        return total & 0xF, (total >> 4) & 1
+    if select == 0:
+        return a & b, 0
+    if select == 1:
+        return a | b, 0
+    if select == 2:
+        return a ^ b, 0
+    return (~a) & 0xF, 0
+
+
+def _gate(ckt: Circuit, gt: GateType, inputs: list[str], out: str) -> str:
+    ckt.add_gate(gt, inputs, out)
+    return out

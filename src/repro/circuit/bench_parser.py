@@ -1,0 +1,105 @@
+"""Reader and writer for the ISCAS-85 ``.bench`` netlist format.
+
+The format (Brglez & Fujiwara, ISCAS 1985) is line oriented::
+
+    # comment
+    INPUT(G1)
+    OUTPUT(G17)
+    G10 = NAND(G1, G3)
+    G11 = NOT(G10)
+
+Gate keywords are case-insensitive.  ``DFF`` and other sequential elements are
+rejected: this library models combinational circuits only, as the paper does.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.circuit.library import GateType
+from repro.circuit.netlist import Circuit, CircuitError
+
+__all__ = ["parse_bench", "parse_bench_file", "write_bench"]
+
+_INPUT_RE = re.compile(r"^INPUT\s*\(\s*([^)\s]+)\s*\)$", re.IGNORECASE)
+_OUTPUT_RE = re.compile(r"^OUTPUT\s*\(\s*([^)\s]+)\s*\)$", re.IGNORECASE)
+_GATE_RE = re.compile(
+    r"^([^=\s]+)\s*=\s*([A-Za-z]+)\s*\(\s*(.*?)\s*\)$", re.IGNORECASE
+)
+
+_TYPE_ALIASES = {
+    "BUFF": GateType.BUF,
+    "BUF": GateType.BUF,
+    "NOT": GateType.NOT,
+    "INV": GateType.NOT,
+    "AND": GateType.AND,
+    "NAND": GateType.NAND,
+    "OR": GateType.OR,
+    "NOR": GateType.NOR,
+    "XOR": GateType.XOR,
+    "XNOR": GateType.XNOR,
+}
+
+
+def parse_bench(text: str, name: str = "bench") -> Circuit:
+    """Parse ``.bench`` source text into a validated :class:`Circuit`.
+
+    Parameters
+    ----------
+    text:
+        The netlist source.
+    name:
+        Name to give the resulting circuit.
+
+    Raises
+    ------
+    CircuitError
+        On syntax errors, unknown gate types, or structural problems.
+    """
+    circuit = Circuit(name=name)
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if match := _INPUT_RE.match(line):
+            circuit.add_input(match.group(1))
+            continue
+        if match := _OUTPUT_RE.match(line):
+            circuit.add_output(match.group(1))
+            continue
+        if match := _GATE_RE.match(line):
+            output, type_name, args = match.groups()
+            gate_type = _TYPE_ALIASES.get(type_name.upper())
+            if gate_type is None:
+                raise CircuitError(
+                    f"line {lineno}: unsupported gate type {type_name!r} "
+                    "(sequential elements are not modelled)"
+                )
+            inputs = [a.strip() for a in args.split(",") if a.strip()]
+            if not inputs:
+                raise CircuitError(f"line {lineno}: gate {output!r} has no inputs")
+            circuit.add_gate(gate_type, inputs, output)
+            continue
+        raise CircuitError(f"line {lineno}: cannot parse {raw!r}")
+
+    circuit.validate()
+    return circuit
+
+
+def parse_bench_file(path: str | Path) -> Circuit:
+    """Parse a ``.bench`` file; the circuit is named after the file stem."""
+    path = Path(path)
+    return parse_bench(path.read_text(), name=path.stem)
+
+
+def write_bench(circuit: Circuit) -> str:
+    """Serialise a circuit back to ``.bench`` text (round-trips with parse)."""
+    lines = [f"# {circuit.name}"]
+    lines.extend(f"INPUT({pi})" for pi in circuit.primary_inputs)
+    lines.extend(f"OUTPUT({po})" for po in circuit.primary_outputs)
+    for gate in circuit.gates:
+        args = ", ".join(gate.inputs)
+        keyword = "BUFF" if gate.gate_type is GateType.BUF else gate.gate_type.value
+        lines.append(f"{gate.output} = {keyword}({args})")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,84 @@
+"""A 4x4 array multiplier benchmark.
+
+Carry-save array structure: AND-gate partial products reduced by rows of
+full adders.  XOR-dense and reconvergent — a different testability
+character from both the priority controller (c432-class) and the ripple
+adder, and a stress case for the XOR-cluster placement.  Verified
+exhaustively against integer multiplication in the tests.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.library import GateType
+from repro.circuit.netlist import Circuit
+
+__all__ = ["multiplier4"]
+
+
+def _full_adder(ckt: Circuit, a: str, b: str, cin: str, tag: str) -> tuple[str, str]:
+    """Emit a full adder; returns (sum, carry) net names."""
+    p = f"{tag}_P"
+    ckt.add_gate(GateType.XOR, [a, b], p)
+    s = f"{tag}_S"
+    ckt.add_gate(GateType.XOR, [p, cin], s)
+    g1 = f"{tag}_G1"
+    ckt.add_gate(GateType.AND, [a, b], g1)
+    g2 = f"{tag}_G2"
+    ckt.add_gate(GateType.AND, [p, cin], g2)
+    c = f"{tag}_C"
+    ckt.add_gate(GateType.OR, [g1, g2], c)
+    return s, c
+
+
+def _half_adder(ckt: Circuit, a: str, b: str, tag: str) -> tuple[str, str]:
+    s = f"{tag}_S"
+    ckt.add_gate(GateType.XOR, [a, b], s)
+    c = f"{tag}_C"
+    ckt.add_gate(GateType.AND, [a, b], c)
+    return s, c
+
+
+def multiplier4() -> Circuit:
+    """Build the 4x4 unsigned array multiplier (8-bit product)."""
+    ckt = Circuit(name="mul4")
+    a = [ckt.add_input(f"A{i}") for i in range(4)]
+    b = [ckt.add_input(f"B{i}") for i in range(4)]
+
+    # Partial products pp[i][j] = A_i AND B_j contributes to bit i+j.
+    pp = [[None] * 4 for _ in range(4)]
+    for i in range(4):
+        for j in range(4):
+            net = f"PP{i}{j}"
+            ckt.add_gate(GateType.AND, [a[i], b[j]], net)
+            pp[i][j] = net
+
+    # Column-wise carry-save reduction.
+    columns: list[list[str]] = [[] for _ in range(8)]
+    for i in range(4):
+        for j in range(4):
+            columns[i + j].append(pp[i][j])
+
+    outputs: list[str] = []
+    adder = 0
+    for bit in range(8):
+        col = columns[bit]
+        while len(col) > 1:
+            if len(col) >= 3:
+                s, c = _full_adder(ckt, col[0], col[1], col[2], f"FA{adder}")
+                col = col[3:] + [s]
+            else:
+                s, c = _half_adder(ckt, col[0], col[1], f"HA{adder}")
+                col = col[2:] + [s]
+            adder += 1
+            if bit + 1 < 8:
+                columns[bit + 1].append(c)
+        # Every product column receives at least one partial product or
+        # carry, so reduction always leaves exactly one survivor.
+        assert len(col) == 1, f"column {bit} reduced to {len(col)} nets"
+        ckt.add_gate(GateType.BUF, [col[0]], f"P{bit}")
+        outputs.append(f"P{bit}")
+
+    for net in outputs:
+        ckt.add_output(net)
+    ckt.validate()
+    return ckt

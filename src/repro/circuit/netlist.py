@@ -1,0 +1,208 @@
+"""Gate-level netlist representation.
+
+A :class:`Circuit` is a named directed acyclic graph of :class:`Gate` objects
+connected by named nets.  Every net is driven either by a primary input or by
+exactly one gate output; primary outputs name nets that are observable.
+
+The representation is deliberately simple and explicit — net names are the
+identity, fanout is derived, and structural validation is a method you call
+rather than a side effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuit.library import GateType
+
+__all__ = ["Gate", "Circuit", "CircuitError"]
+
+
+class CircuitError(ValueError):
+    """Raised for structurally invalid circuits (cycles, bad references...)."""
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One combinational gate instance.
+
+    Attributes
+    ----------
+    name:
+        Unique instance name; by convention equals the output net name.
+    gate_type:
+        The primitive function computed.
+    inputs:
+        Ordered tuple of input net names.
+    output:
+        The output net name (unique driver of that net).
+    """
+
+    name: str
+    gate_type: GateType
+    inputs: tuple[str, ...]
+    output: str
+
+    def __post_init__(self) -> None:
+        if not self.inputs:
+            raise CircuitError(f"gate {self.name!r} has no inputs")
+
+
+@dataclass
+class Circuit:
+    """A combinational gate-level circuit.
+
+    Attributes
+    ----------
+    name:
+        Circuit name (e.g. ``"c432"``).
+    primary_inputs:
+        Ordered primary input net names.
+    primary_outputs:
+        Ordered primary output net names (each must be a driven net or a PI).
+    gates:
+        Gate instances, in arbitrary order (use :mod:`repro.circuit.levelize`
+        for topological order).
+    """
+
+    name: str
+    primary_inputs: list[str] = field(default_factory=list)
+    primary_outputs: list[str] = field(default_factory=list)
+    gates: list[Gate] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def add_input(self, net: str) -> str:
+        """Declare a primary input net and return its name."""
+        if net in self.primary_inputs:
+            raise CircuitError(f"duplicate primary input {net!r}")
+        self.primary_inputs.append(net)
+        return net
+
+    def add_output(self, net: str) -> str:
+        """Declare a primary output net and return its name."""
+        if net in self.primary_outputs:
+            raise CircuitError(f"duplicate primary output {net!r}")
+        self.primary_outputs.append(net)
+        return net
+
+    def add_gate(
+        self,
+        gate_type: GateType | str,
+        inputs: list[str] | tuple[str, ...],
+        output: str,
+        name: str | None = None,
+    ) -> Gate:
+        """Add a gate driving net ``output`` and return the Gate."""
+        gtype = GateType(gate_type) if not isinstance(gate_type, GateType) else gate_type
+        gate = Gate(name or output, gtype, tuple(inputs), output)
+        self.gates.append(gate)
+        return gate
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    @property
+    def nets(self) -> list[str]:
+        """All net names: primary inputs plus every gate output."""
+        seen: dict[str, None] = dict.fromkeys(self.primary_inputs)
+        for gate in self.gates:
+            seen.setdefault(gate.output, None)
+        return list(seen)
+
+    def driver_of(self, net: str) -> Gate | None:
+        """The gate driving ``net``, or None for primary inputs."""
+        return self._driver_map().get(net)
+
+    def fanout_of(self, net: str) -> list[Gate]:
+        """Gates that read ``net`` as an input."""
+        return [g for g in self.gates if net in g.inputs]
+
+    def fanout_map(self) -> dict[str, list[Gate]]:
+        """Net name -> list of reading gates, computed in one pass."""
+        fanout: dict[str, list[Gate]] = {net: [] for net in self.nets}
+        for gate in self.gates:
+            for net in gate.inputs:
+                fanout.setdefault(net, []).append(gate)
+        return fanout
+
+    def _driver_map(self) -> dict[str, Gate]:
+        return {gate.output: gate for gate in self.gates}
+
+    @property
+    def gate_count(self) -> int:
+        """Number of gate instances."""
+        return len(self.gates)
+
+    def stats(self) -> dict[str, int]:
+        """Summary counts: inputs, outputs, gates, nets, transistors."""
+        transistors = sum(
+            g.gate_type.transistor_count(len(g.inputs)) for g in self.gates
+        )
+        return {
+            "inputs": len(self.primary_inputs),
+            "outputs": len(self.primary_outputs),
+            "gates": self.gate_count,
+            "nets": len(self.nets),
+            "transistors": transistors,
+        }
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural well-formedness; raise :class:`CircuitError`.
+
+        Verifies unique drivers, that all gate inputs and primary outputs are
+        driven nets, and that the gate graph is acyclic.
+        """
+        drivers: dict[str, str] = {}
+        for pi in self.primary_inputs:
+            drivers[pi] = "<PI>"
+        for gate in self.gates:
+            if gate.output in drivers:
+                raise CircuitError(
+                    f"net {gate.output!r} has multiple drivers "
+                    f"({drivers[gate.output]} and {gate.name})"
+                )
+            drivers[gate.output] = gate.name
+
+        for gate in self.gates:
+            for net in gate.inputs:
+                if net not in drivers:
+                    raise CircuitError(
+                        f"gate {gate.name!r} reads undriven net {net!r}"
+                    )
+        for po in self.primary_outputs:
+            if po not in drivers:
+                raise CircuitError(f"primary output {po!r} is not driven")
+
+        self._check_acyclic()
+
+    def _check_acyclic(self) -> None:
+        driver = self._driver_map()
+        state: dict[str, int] = {}  # 0 = visiting, 1 = done
+
+        for start in (g.output for g in self.gates):
+            if start in state:
+                continue
+            stack: list[tuple[str, int]] = [(start, 0)]
+            while stack:
+                net, idx = stack.pop()
+                gate = driver.get(net)
+                if gate is None:
+                    state[net] = 1
+                    continue
+                if idx == 0:
+                    if state.get(net) == 0:
+                        raise CircuitError(f"combinational cycle through {net!r}")
+                    if state.get(net) == 1:
+                        continue
+                    state[net] = 0
+                    stack.append((net, 1))
+                    for child in gate.inputs:
+                        if state.get(child) != 1:
+                            stack.append((child, 0))
+                else:
+                    state[net] = 1

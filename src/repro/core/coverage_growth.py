@@ -1,0 +1,105 @@
+"""Random-test coverage-growth laws (the paper's eqs. 7-10).
+
+Coverage under k random vectors follows Williams' test-length law
+
+    T(k)     = 1 - exp(-ln(k) / ln(s_T))            (eq. 7)
+    theta(k) = theta_max * (1 - exp(-ln(k)/ln(s)))  (eq. 8)
+
+where ``s`` is the fault-set *susceptibility* (larger s = harder set:
+coverage grows more slowly with k).  Eliminating k links the two coverages:
+
+    theta(T) = theta_max * (1 - (1 - T)**R),  R = ln(s_T)/ln(s_theta)  (eq. 9, 10)
+
+``R > 1`` whenever the realistic faults are more susceptible (easier) than
+the stuck-at set — the bridging-dominated case.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "coverage_at",
+    "weighted_coverage_at",
+    "theta_of_T",
+    "T_of_theta",
+    "susceptibility_ratio",
+    "susceptibility_from_point",
+    "test_length_for_coverage",
+]
+
+
+def coverage_at(k: float, susceptibility: float) -> float:
+    """Stuck-at coverage after ``k`` random vectors (eq. 7).
+
+    ``susceptibility`` must exceed 1 (s = e corresponds to T(k) =
+    1 - 1/k).  T(1) = 0 and T -> 1 as k -> infinity.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if susceptibility <= 1:
+        raise ValueError("susceptibility must be > 1")
+    return 1.0 - math.exp(-math.log(k) / math.log(susceptibility))
+
+
+def weighted_coverage_at(
+    k: float, susceptibility: float, theta_max: float = 1.0
+) -> float:
+    """Weighted realistic coverage after ``k`` random vectors (eq. 8)."""
+    if not 0 <= theta_max <= 1:
+        raise ValueError("theta_max must be in [0, 1]")
+    return theta_max * coverage_at(k, susceptibility)
+
+
+def theta_of_T(
+    coverage: float, susceptibility_ratio_value: float, theta_max: float = 1.0
+) -> float:
+    """Realistic coverage as a function of stuck-at coverage (eq. 9)."""
+    if not 0 <= coverage <= 1:
+        raise ValueError("coverage must be in [0, 1]")
+    if susceptibility_ratio_value <= 0:
+        raise ValueError("R must be positive")
+    return theta_max * (1.0 - (1.0 - coverage) ** susceptibility_ratio_value)
+
+
+def T_of_theta(
+    theta: float, susceptibility_ratio_value: float, theta_max: float = 1.0
+) -> float:
+    """Invert eq. 9: the stuck-at coverage at which theta is reached."""
+    if not 0 <= theta < theta_max or theta_max <= 0:
+        raise ValueError("theta must be in [0, theta_max)")
+    inner = 1.0 - theta / theta_max
+    return 1.0 - inner ** (1.0 / susceptibility_ratio_value)
+
+
+def susceptibility_ratio(s_stuck_at: float, s_realistic: float) -> float:
+    """``R = ln(s_T) / ln(s_theta)`` (eq. 10)."""
+    if s_stuck_at <= 1 or s_realistic <= 1:
+        raise ValueError("susceptibilities must be > 1")
+    return math.log(s_stuck_at) / math.log(s_realistic)
+
+
+def test_length_for_coverage(target: float, susceptibility: float) -> float:
+    """Random vectors needed to reach ``target`` coverage (invert eq. 7).
+
+    This is Williams' self-test test-length question: with fault-set
+    susceptibility ``s``, reaching coverage T needs
+    ``k = exp(-ln(s) * ln(1 - T))`` vectors.
+    """
+    if not 0 <= target < 1:
+        raise ValueError("target coverage must be in [0, 1)")
+    if susceptibility <= 1:
+        raise ValueError("susceptibility must be > 1")
+    if target == 0:
+        return 1.0
+    return math.exp(-math.log(susceptibility) * math.log(1.0 - target))
+
+
+def susceptibility_from_point(k: float, coverage: float) -> float:
+    """Susceptibility implied by one (k, T) observation (invert eq. 7)."""
+    if not 0 < coverage < 1:
+        raise ValueError("coverage must be in (0, 1) to invert")
+    if k <= 1:
+        raise ValueError("k must exceed 1")
+    # T = 1 - exp(-ln k / ln s)  =>  ln s = -ln k / ln(1 - T)
+    return math.exp(-math.log(k) / math.log(1.0 - coverage))

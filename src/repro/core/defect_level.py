@@ -1,0 +1,167 @@
+"""Defect-level models: Williams-Brown, Agrawal, weighted, and the proposed
+two-parameter model (the paper's eq. 11).
+
+All functions take/return plain floats; yields and coverages are fractions in
+[0, 1], defect levels are fractions (multiply by 1e6 for ppm).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "williams_brown",
+    "agrawal",
+    "weighted_defect_level",
+    "sousa_defect_level",
+    "clustered_defect_level",
+    "residual_defect_level",
+    "required_coverage",
+    "required_coverage_williams_brown",
+    "ppm",
+]
+
+
+def _check_unit(name: str, value: float, closed: bool = True) -> None:
+    lo_ok = value >= 0 if closed else value > 0
+    if not (lo_ok and value <= 1):
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+def williams_brown(yield_value: float, coverage: float) -> float:
+    """Classic defect level ``DL = 1 - Y**(1 - T)`` (eq. 1, [Williams-Brown 81]).
+
+    Assumes equally probable single stuck-at faults; the paper shows this
+    overestimates the coverage needed for a target DL when realistic faults
+    are easier to detect (R > 1) and *underestimates* the floor when the test
+    technique cannot reach every defect (theta_max < 1).
+    """
+    _check_unit("yield", yield_value, closed=False)
+    _check_unit("coverage", coverage)
+    return 1.0 - yield_value ** (1.0 - coverage)
+
+
+def agrawal(yield_value: float, coverage: float, n_average: float) -> float:
+    """Agrawal et al. model with fault multiplicity (eq. 2).
+
+    ``n_average`` is the average number of faults on a faulty chip; the model
+    postulates a Poisson fault count and reduces detection requirements as
+    multiplicity grows.
+    """
+    _check_unit("yield", yield_value, closed=False)
+    _check_unit("coverage", coverage)
+    if n_average < 1:
+        raise ValueError("average fault multiplicity must be >= 1")
+    tail = (1.0 - coverage) * (1.0 - yield_value) * math.exp(
+        -(n_average - 1.0) * coverage
+    )
+    return tail / (yield_value + tail)
+
+
+def weighted_defect_level(yield_value: float, theta: float) -> float:
+    """Weighted realistic-fault defect level ``DL = 1 - Y**(1 - theta)`` (eq. 3).
+
+    ``theta`` is the *weighted* realistic fault coverage of eq. 6.  This is
+    the reference the paper treats as the actual defect level when plotting
+    ``(T(k), DL(theta(k)))``.
+    """
+    return williams_brown(yield_value, theta)
+
+
+def sousa_defect_level(
+    yield_value: float,
+    coverage: float,
+    susceptibility_ratio: float = 1.0,
+    theta_max: float = 1.0,
+) -> float:
+    """The paper's model (eq. 11):
+
+        DL(T) = 1 - Y ** (1 - theta_max * (1 - (1 - T)**R))
+
+    Reduces to Williams-Brown at ``R = 1`` and ``theta_max = 1``.  ``R > 1``
+    means realistic faults are *easier* to detect than stuck-at faults
+    (bridging-dominated populations), so DL falls below the Williams-Brown
+    curve at intermediate coverage; ``theta_max < 1`` leaves a residual
+    defect level at T = 1.
+    """
+    _check_unit("yield", yield_value, closed=False)
+    _check_unit("coverage", coverage)
+    _check_unit("theta_max", theta_max)
+    if susceptibility_ratio <= 0:
+        raise ValueError("susceptibility ratio must be positive")
+    theta = theta_max * (1.0 - (1.0 - coverage) ** susceptibility_ratio)
+    return 1.0 - yield_value ** (1.0 - theta)
+
+
+def clustered_defect_level(
+    total_weight: float, theta: float, clustering: float = 2.0
+) -> float:
+    """Defect level under negative-binomial (Stapper) defect clustering.
+
+    The shipped-defective fraction is ``1 - P(no fault) / P(no detected
+    fault)``.  With total average fault count ``w`` (eq. 5's exponent),
+    detected weight fraction ``theta`` and clustering parameter ``alpha``:
+
+        DL = 1 - [ (1 + w/alpha) / (1 + w*theta/alpha) ] ** (-alpha)
+
+    As ``alpha -> infinity`` this recovers the Poisson form of eq. 3,
+    ``1 - Y**(1-theta)`` with ``Y = exp(-w)``.  Clustering *lowers* the
+    defect level at equal yield: undetected defects concentrate on chips
+    that already failed the test.
+    """
+    if total_weight < 0:
+        raise ValueError("total weight must be non-negative")
+    _check_unit("theta", theta)
+    if clustering <= 0:
+        raise ValueError("clustering parameter must be positive")
+    numerator = 1.0 + total_weight / clustering
+    denominator = 1.0 + total_weight * theta / clustering
+    return 1.0 - (numerator / denominator) ** (-clustering)
+
+
+def residual_defect_level(yield_value: float, theta_max: float) -> float:
+    """The floor ``1 - Y**(1 - theta_max)`` that no test length removes.
+
+    The paper calls this the residual defect level of a detection technique:
+    with steady-state voltage testing alone, theta_max < 1 and this is what
+    remains even at 100 % stuck-at coverage.
+    """
+    _check_unit("yield", yield_value, closed=False)
+    _check_unit("theta_max", theta_max)
+    return 1.0 - yield_value ** (1.0 - theta_max)
+
+
+def required_coverage(
+    yield_value: float,
+    target_dl: float,
+    susceptibility_ratio: float = 1.0,
+    theta_max: float = 1.0,
+) -> float:
+    """Invert eq. 11: the stuck-at coverage needed for a target defect level.
+
+    Raises ``ValueError`` when the target lies below the residual defect
+    level (no finite test reaches it with this technique).
+    """
+    _check_unit("yield", yield_value, closed=False)
+    if not 0 <= target_dl < 1:
+        raise ValueError(f"target DL must be in [0, 1), got {target_dl}")
+    floor = residual_defect_level(yield_value, theta_max)
+    if target_dl < floor - 1e-15:
+        raise ValueError(
+            f"target DL {target_dl:.3e} is below the residual defect level "
+            f"{floor:.3e} for theta_max={theta_max}"
+        )
+    theta_needed = 1.0 - math.log(1.0 - target_dl) / math.log(yield_value)
+    inner = 1.0 - theta_needed / theta_max
+    inner = min(max(inner, 0.0), 1.0)
+    return 1.0 - inner ** (1.0 / susceptibility_ratio)
+
+
+def required_coverage_williams_brown(yield_value: float, target_dl: float) -> float:
+    """Coverage the Williams-Brown model demands for a target defect level."""
+    return required_coverage(yield_value, target_dl, 1.0, 1.0)
+
+
+def ppm(defect_level: float) -> float:
+    """Convert a defect-level fraction to parts per million."""
+    return defect_level * 1e6

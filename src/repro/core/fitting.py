@@ -1,0 +1,214 @@
+"""Curve fitting for the defect-level and coverage-growth models.
+
+The paper determines ``(R, theta_max)`` by fitting eq. 11 to the simulated
+``(T(k), DL(theta(k)))`` points (fig. 5: R = 1.9, theta_max = 0.96), and the
+Agrawal ``n`` by fitting eq. 2 to fallout data.  These fits, plus
+susceptibility estimation from coverage-growth curves, live here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy.optimize import curve_fit, least_squares
+
+from repro.core.coverage_growth import coverage_at
+from repro.core.defect_level import agrawal, sousa_defect_level
+
+__all__ = [
+    "SousaFit",
+    "FalloutFit",
+    "fit_sousa_model",
+    "fit_sousa_with_yield",
+    "fit_agrawal_n",
+    "fit_susceptibility",
+]
+
+
+@dataclass(frozen=True)
+class SousaFit:
+    """Result of fitting eq. 11 to (T, DL) data."""
+
+    susceptibility_ratio: float
+    theta_max: float
+    residual: float
+
+    def predict(self, yield_value: float, coverage: float) -> float:
+        """Evaluate the fitted model."""
+        return sousa_defect_level(
+            yield_value, coverage, self.susceptibility_ratio, self.theta_max
+        )
+
+
+def fit_sousa_model(
+    coverages: Sequence[float],
+    defect_levels: Sequence[float],
+    yield_value: float,
+    r_bounds: tuple[float, float] = (0.1, 10.0),
+    theta_bounds: tuple[float, float] = (0.5, 1.0),
+) -> SousaFit:
+    """Least-squares fit of ``(R, theta_max)`` in eq. 11.
+
+    Fitting happens on the *exponent* scale (the realistic coverage
+    ``theta = 1 - ln(1 - DL)/ln(Y)``), which weights the high-coverage tail
+    where the models actually differ, the way the paper's log-scale DL plots
+    do.
+    """
+    T = np.asarray(coverages, dtype=float)
+    dl = np.asarray(defect_levels, dtype=float)
+    if T.shape != dl.shape or T.size < 2:
+        raise ValueError("need matching coverage/DL arrays with >= 2 points")
+    if not 0 < yield_value < 1:
+        raise ValueError("yield must be in (0, 1)")
+
+    log_y = math.log(yield_value)
+    theta_obs = 1.0 - np.log(np.clip(1.0 - dl, 1e-15, 1.0)) / log_y
+
+    def residuals(params: np.ndarray) -> np.ndarray:
+        r, theta_max = params
+        theta_model = theta_max * (1.0 - np.power(np.clip(1.0 - T, 0.0, 1.0), r))
+        return theta_model - theta_obs
+
+    result = least_squares(
+        residuals,
+        x0=np.array([1.5, 0.95]),
+        bounds=(
+            np.array([r_bounds[0], theta_bounds[0]]),
+            np.array([r_bounds[1], theta_bounds[1]]),
+        ),
+    )
+    r_fit, theta_fit = result.x
+    return SousaFit(
+        susceptibility_ratio=float(r_fit),
+        theta_max=float(theta_fit),
+        residual=float(np.sqrt(np.mean(result.fun**2))),
+    )
+
+
+@dataclass(frozen=True)
+class FalloutFit:
+    """Joint fit of (Y, R, theta_max) to production fallout data."""
+
+    yield_value: float
+    susceptibility_ratio: float
+    theta_max: float
+    residual: float
+
+    def predict(self, coverage: float) -> float:
+        """Evaluate the fitted model at a coverage point."""
+        return sousa_defect_level(
+            self.yield_value, coverage, self.susceptibility_ratio, self.theta_max
+        )
+
+
+def fit_sousa_with_yield(
+    coverages: Sequence[float],
+    defect_levels: Sequence[float],
+    y_bounds: tuple[float, float] = (0.05, 0.999),
+    r_bounds: tuple[float, float] = (0.1, 10.0),
+    theta_bounds: tuple[float, float] = (0.5, 1.0),
+) -> FalloutFit:
+    """Fit (Y, R, theta_max) jointly to measured fallout data.
+
+    The paper notes that "Predictions of Y, DL, R and theta_max can be
+    obtained at the design phase, and can be ascertained during test
+    application, in IC production" — this is the production-side direction:
+    from observed (coverage, fallout) pairs alone, recover all three model
+    parameters.  Needs data spanning a decent coverage range; with only a
+    high-coverage tail, Y and theta_max trade off against each other.
+    """
+    T = np.asarray(coverages, dtype=float)
+    dl = np.asarray(defect_levels, dtype=float)
+    if T.shape != dl.shape or T.size < 3:
+        raise ValueError("need matching coverage/DL arrays with >= 3 points")
+
+    log_dl_obs = np.log(np.clip(dl, 1e-15, 1.0))
+
+    def residuals(params: np.ndarray) -> np.ndarray:
+        y, r, theta_max = params
+        theta = theta_max * (1.0 - np.power(np.clip(1.0 - T, 0.0, 1.0), r))
+        model = 1.0 - np.power(y, 1.0 - theta)
+        return np.log(np.clip(model, 1e-15, 1.0)) - log_dl_obs
+
+    result = least_squares(
+        residuals,
+        x0=np.array([0.5, 1.5, 0.95]),
+        bounds=(
+            np.array([y_bounds[0], r_bounds[0], theta_bounds[0]]),
+            np.array([y_bounds[1], r_bounds[1], theta_bounds[1]]),
+        ),
+    )
+    y_fit, r_fit, theta_fit = result.x
+    return FalloutFit(
+        yield_value=float(y_fit),
+        susceptibility_ratio=float(r_fit),
+        theta_max=float(theta_fit),
+        residual=float(np.sqrt(np.mean(result.fun**2))),
+    )
+
+
+def fit_agrawal_n(
+    coverages: Sequence[float],
+    defect_levels: Sequence[float],
+    yield_value: float,
+    n_bounds: tuple[float, float] = (1.0, 50.0),
+) -> float:
+    """Fit the Agrawal model's average multiplicity ``n`` to (T, DL) data."""
+    T = np.asarray(coverages, dtype=float)
+    dl = np.asarray(defect_levels, dtype=float)
+
+    def model(t: np.ndarray, n: float) -> np.ndarray:
+        return np.array([agrawal(yield_value, ti, n) for ti in t])
+
+    popt, _ = curve_fit(
+        model, T, dl, p0=[2.0], bounds=([n_bounds[0]], [n_bounds[1]])
+    )
+    return float(popt[0])
+
+
+def fit_susceptibility(
+    ks: Sequence[float],
+    coverages: Sequence[float],
+    theta_max: float | None = None,
+) -> tuple[float, float]:
+    """Fit eq. 7/8 to an observed coverage-growth curve.
+
+    Returns ``(susceptibility, theta_max)``.  When ``theta_max`` is given it
+    is held fixed (use 1.0 for stuck-at curves); otherwise both parameters
+    are fitted.
+    """
+    k_arr = np.asarray(ks, dtype=float)
+    c_arr = np.asarray(coverages, dtype=float)
+    if k_arr.shape != c_arr.shape or k_arr.size < 2:
+        raise ValueError("need matching k/coverage arrays with >= 2 points")
+    if np.any(k_arr < 1):
+        raise ValueError("vector counts must be >= 1")
+
+    if theta_max is not None:
+
+        def model_fixed(k: np.ndarray, log_s: float) -> np.ndarray:
+            return theta_max * (1.0 - np.exp(-np.log(k) / log_s))
+
+        popt, _ = curve_fit(
+            model_fixed, k_arr, c_arr, p0=[2.0], bounds=([1e-3], [1e3])
+        )
+        return float(math.exp(popt[0])), float(theta_max)
+
+    def model(k: np.ndarray, log_s: float, tmax: float) -> np.ndarray:
+        return tmax * (1.0 - np.exp(-np.log(k) / log_s))
+
+    popt, _ = curve_fit(
+        model, k_arr, c_arr, p0=[2.0, 0.95], bounds=([1e-3, 0.1], [1e3, 1.0])
+    )
+    return float(math.exp(popt[0])), float(popt[1])
+
+
+def _self_check() -> None:  # pragma: no cover - sanity helper
+    ks = [2, 4, 8, 16, 64, 256, 1024]
+    s = math.exp(3.0)
+    curve = [coverage_at(k, s) for k in ks]
+    fitted, _ = fit_susceptibility(ks, curve, theta_max=1.0)
+    assert abs(math.log(fitted) - 3.0) < 1e-6

@@ -1,0 +1,84 @@
+"""Weighted realistic-fault arithmetic (the paper's eqs. 4-6).
+
+Each realistic fault ``j`` has an occurrence probability ``p_j`` and weight
+
+    w_j = -ln(1 - p_j) = A_j * D_j          (eq. 4)
+
+the average number of defects inducing it.  The whole fault set then gives
+
+    Y     = exp(-sum_j w_j)                 (eq. 5)
+    theta = sum_detected w_j / sum_all w_j  (eq. 6)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+__all__ = [
+    "weight_from_probability",
+    "probability_from_weight",
+    "yield_from_weights",
+    "weights_for_yield",
+    "weighted_coverage",
+    "unweighted_coverage",
+]
+
+
+def weight_from_probability(p: float) -> float:
+    """``w = -ln(1 - p)`` (eq. 4)."""
+    if not 0 <= p < 1:
+        raise ValueError(f"fault probability must be in [0, 1), got {p}")
+    return -math.log(1.0 - p)
+
+
+def probability_from_weight(w: float) -> float:
+    """``p = 1 - exp(-w)`` — inverse of eq. 4."""
+    if w < 0:
+        raise ValueError(f"weight must be non-negative, got {w}")
+    return 1.0 - math.exp(-w)
+
+
+def yield_from_weights(weights: Iterable[float]) -> float:
+    """``Y = exp(-sum w_j)`` (eq. 5)."""
+    total = 0.0
+    for w in weights:
+        if w < 0:
+            raise ValueError("weights must be non-negative")
+        total += w
+    return math.exp(-total)
+
+
+def weights_for_yield(weights: Sequence[float], target_yield: float) -> list[float]:
+    """Rescale a weight set so eq. 5 yields ``target_yield``.
+
+    This is the paper's yield-scaling step ("as if the circuit has a
+    different size but maintains the same testability features").
+    """
+    if not 0 < target_yield < 1:
+        raise ValueError("target yield must be in (0, 1)")
+    total = sum(weights)
+    if total <= 0:
+        raise ValueError("cannot scale an all-zero weight set")
+    factor = -math.log(target_yield) / total
+    return [w * factor for w in weights]
+
+
+def weighted_coverage(
+    weights: Sequence[float], detected: Sequence[bool]
+) -> float:
+    """``theta`` of eq. 6 for a detection flag per fault."""
+    if len(weights) != len(detected):
+        raise ValueError("weights and detected flags must align")
+    total = sum(weights)
+    if total <= 0:
+        return 1.0
+    hit = sum(w for w, d in zip(weights, detected) if d)
+    return hit / total
+
+
+def unweighted_coverage(detected: Sequence[bool]) -> float:
+    """``Gamma``: the same fault set counted with equal likelihood."""
+    if not detected:
+        return 1.0
+    return sum(detected) / len(detected)

@@ -1,0 +1,76 @@
+"""Classical IC yield models.
+
+The paper takes the yield either from eq. 5 (fault weights) or from standard
+models "[2, 3]"; this module provides the usual family so the benches can
+cross-check the weight-based yield against the Poisson and negative-binomial
+(Stapper) forms, and project yield across die areas.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "poisson_yield",
+    "negative_binomial_yield",
+    "murphy_yield",
+    "defects_for_yield",
+    "scale_yield_to_area",
+]
+
+
+def poisson_yield(defect_density: float, area: float) -> float:
+    """``Y = exp(-A D)`` — Poisson-distributed point defects."""
+    _check_positive("defect_density", defect_density, zero_ok=True)
+    _check_positive("area", area, zero_ok=True)
+    return math.exp(-defect_density * area)
+
+
+def negative_binomial_yield(
+    defect_density: float, area: float, clustering: float = 2.0
+) -> float:
+    """Stapper's model ``Y = (1 + A D / alpha) ** -alpha``.
+
+    ``clustering`` (alpha) captures defect clustering; alpha -> infinity
+    recovers the Poisson model.
+    """
+    _check_positive("defect_density", defect_density, zero_ok=True)
+    _check_positive("area", area, zero_ok=True)
+    _check_positive("clustering", clustering)
+    return (1.0 + defect_density * area / clustering) ** (-clustering)
+
+
+def murphy_yield(defect_density: float, area: float) -> float:
+    """Murphy's bose-einstein-ish compromise ``Y = ((1 - e^-AD) / AD)^2``."""
+    _check_positive("defect_density", defect_density, zero_ok=True)
+    _check_positive("area", area, zero_ok=True)
+    ad = defect_density * area
+    if ad == 0:
+        return 1.0
+    return ((1.0 - math.exp(-ad)) / ad) ** 2
+
+
+def defects_for_yield(target_yield: float, area: float) -> float:
+    """Poisson-model defect density that produces ``target_yield``."""
+    if not 0 < target_yield <= 1:
+        raise ValueError("target yield must be in (0, 1]")
+    _check_positive("area", area)
+    return -math.log(target_yield) / area
+
+
+def scale_yield_to_area(yield_value: float, area_ratio: float) -> float:
+    """Yield of a die ``area_ratio`` times larger, same defect process.
+
+    Under Poisson statistics ``Y' = Y ** area_ratio`` — the identity behind
+    the paper's "scaling the yield value can be interpreted as if the circuit
+    has a different size but maintains the same testability features".
+    """
+    if not 0 < yield_value <= 1:
+        raise ValueError("yield must be in (0, 1]")
+    _check_positive("area_ratio", area_ratio)
+    return yield_value**area_ratio
+
+
+def _check_positive(name: str, value: float, zero_ok: bool = False) -> None:
+    if value < 0 or (value == 0 and not zero_ok):
+        raise ValueError(f"{name} must be positive, got {value}")

@@ -1,0 +1,49 @@
+"""Defect statistics, critical areas and layout fault extraction (IFA)."""
+
+from repro.defects.critical_area import (
+    average_critical_area,
+    bridge_critical_area,
+    monte_carlo_average,
+    open_critical_area,
+)
+from repro.defects.extraction import FaultExtractor, extract_faults
+from repro.defects.monte_carlo import MonteCarloResult, sample_defects
+from repro.defects.fault_types import (
+    BridgeFault,
+    FaultList,
+    FloatingNetFault,
+    RealisticFault,
+    TransistorGateOpen,
+    TransistorStuckOn,
+    TransistorStuckOpen,
+)
+from repro.defects.statistics import (
+    DefectMechanism,
+    DefectStatistics,
+    SizeDistribution,
+    maly_like_statistics,
+    open_heavy_statistics,
+)
+
+__all__ = [
+    "BridgeFault",
+    "DefectMechanism",
+    "DefectStatistics",
+    "FaultExtractor",
+    "FaultList",
+    "FloatingNetFault",
+    "MonteCarloResult",
+    "RealisticFault",
+    "SizeDistribution",
+    "TransistorGateOpen",
+    "TransistorStuckOn",
+    "TransistorStuckOpen",
+    "average_critical_area",
+    "bridge_critical_area",
+    "extract_faults",
+    "maly_like_statistics",
+    "monte_carlo_average",
+    "open_critical_area",
+    "open_heavy_statistics",
+    "sample_defects",
+]

@@ -1,0 +1,149 @@
+"""Monte-Carlo spot-defect injection over a finished layout.
+
+An independent validator for the analytic critical-area extraction: sample
+defects (mechanism by density share, position uniform over the die, diameter
+from the size distribution), determine geometrically which fault each one
+induces, and compare observed fault frequencies with the analytic weights.
+
+A square defect footprint is used (matching the first-order critical-area
+kernels the extractor integrates); bridges count when the footprint touches
+shapes of two different nets on the defect's layer, opens when it spans the
+full width of a wire.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.defects.statistics import (
+    LAYER_MECHANISMS,
+    DefectMechanism,
+    DefectStatistics,
+)
+from repro.layout.design import LayoutDesign
+from repro.layout.geometry import Layer, Rect
+from repro.layout.spatial import SpatialIndex
+
+__all__ = ["MonteCarloResult", "sample_defects"]
+
+
+@dataclass
+class MonteCarloResult:
+    """Outcome of a defect-injection campaign."""
+
+    n_samples: int = 0
+    n_faults: int = 0
+    bridge_hits: Counter = field(default_factory=Counter)  # (net_a, net_b) -> hits
+    open_hits: Counter = field(default_factory=Counter)    # net -> hits
+    benign: int = 0
+
+    @property
+    def fault_fraction(self) -> float:
+        """Fraction of sampled defects that caused any fault."""
+        return self.n_faults / self.n_samples if self.n_samples else 0.0
+
+    def bridge_frequency(self, net_a: str, net_b: str) -> float:
+        """Observed per-sample frequency of a specific bridge."""
+        key = tuple(sorted((net_a, net_b)))
+        return self.bridge_hits[key] / self.n_samples if self.n_samples else 0.0
+
+
+def sample_defects(
+    design: LayoutDesign,
+    statistics: DefectStatistics | None = None,
+    n_samples: int = 20000,
+    seed: int = 99,
+    margin: float = 10.0,
+) -> MonteCarloResult:
+    """Inject ``n_samples`` random spot defects and classify each.
+
+    Only area mechanisms (conductor shorts/opens) are sampled — cut opens are
+    per-cut Bernoulli events with no geometry to validate.  The relative
+    sampling rate of each mechanism follows the density table, so observed
+    bridge frequencies are directly comparable (up to a global factor) with
+    the extractor's weights.
+    """
+    statistics = statistics or DefectStatistics()
+    rng = random.Random(seed)
+    die = design.die
+    if die is None:
+        raise ValueError("design has no shapes")
+
+    # Sampling distribution over area mechanisms.
+    area_mechs = [
+        (mech, statistics.density(mech))
+        for layer, mechs in LAYER_MECHANISMS.items()
+        for mech in mechs
+    ]
+    # Deduplicate (diff short/open appear for both diffusion layers).
+    mech_weights: dict[DefectMechanism, float] = {}
+    for mech, density in area_mechs:
+        mech_weights[mech] = density
+    mechs = [m for m, d in mech_weights.items() if d > 0]
+    weights = [mech_weights[m] for m in mechs]
+
+    layer_of_mech: dict[DefectMechanism, list[Layer]] = {}
+    for layer, (short, open_) in LAYER_MECHANISMS.items():
+        layer_of_mech.setdefault(short, []).append(layer)
+        layer_of_mech.setdefault(open_, []).append(layer)
+
+    by_layer: dict[Layer, SpatialIndex] = {}
+    for layer in set(l for ls in layer_of_mech.values() for l in ls):
+        shapes = [s for s in design.shapes if s.layer is layer and s.net]
+        by_layer[layer] = SpatialIndex(shapes)
+
+    result = MonteCarloResult(n_samples=n_samples)
+    x_lo, y_lo = die.llx - margin, die.lly - margin
+    x_hi, y_hi = die.urx + margin, die.ury + margin
+
+    for _ in range(n_samples):
+        mech = rng.choices(mechs, weights=weights)[0]
+        layers = layer_of_mech[mech]
+        layer = layers[0] if len(layers) == 1 else rng.choice(layers)
+        diameter = statistics.size.sample(rng.random())
+        if diameter > statistics.size.x_max:
+            result.benign += 1
+            continue
+        cx = rng.uniform(x_lo, x_hi)
+        cy = rng.uniform(y_lo, y_hi)
+        half = diameter / 2
+        footprint = Rect(layer, cx - half, cy - half, cx + half, cy + half)
+        index = by_layer.get(layer)
+        touched = [
+            s
+            for s in (index.near(footprint) if index else [])
+            if s.layer is layer and s.intersects(footprint)
+        ]
+        if mech.is_bridge:
+            nets = {s.net for s in touched}
+            if len(nets) >= 2:
+                a, b = sorted(nets)[:2]
+                result.bridge_hits[(a, b)] += 1
+                result.n_faults += 1
+            else:
+                result.benign += 1
+        else:
+            cut = None
+            for shape in touched:
+                horizontal = shape.width >= shape.height
+                if horizontal:
+                    severed = (
+                        footprint.lly <= shape.lly and footprint.ury >= shape.ury
+                        and footprint.llx > shape.llx and footprint.urx < shape.urx
+                    )
+                else:
+                    severed = (
+                        footprint.llx <= shape.llx and footprint.urx >= shape.urx
+                        and footprint.lly > shape.lly and footprint.ury < shape.ury
+                    )
+                if severed:
+                    cut = shape.net
+                    break
+            if cut is not None:
+                result.open_hits[cut] += 1
+                result.n_faults += 1
+            else:
+                result.benign += 1
+    return result

@@ -1,0 +1,5 @@
+"""Fault diagnosis: full-response dictionaries and syndrome matching."""
+
+from repro.diagnosis.dictionary import FaultDictionary, Match, Syndrome
+
+__all__ = ["FaultDictionary", "Match", "Syndrome"]

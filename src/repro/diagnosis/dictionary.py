@@ -1,0 +1,182 @@
+"""Full-response fault dictionaries and syndrome matching.
+
+Once a chip fails on the tester, the natural follow-up to the paper's flow
+is *diagnosis*: which (realistic) defect produced this syndrome?  The
+classic tool is a full-response **fault dictionary** — for every modelled
+fault, the set of (vector, output) positions at which it fails — matched
+against the observed failures.
+
+Realistic faults are diagnosed through **stuck-at surrogates**: a bridge's
+syndrome is (per the wired-resolution model) a vector-dependent mix of the
+two nets' stuck-at syndromes, so its best dictionary matches are exactly the
+stuck-at faults on (or near) the bridged nets.  This is the premise behind
+surrogate-based defect diagnosis, and `examples/defect_diagnosis.py`
+demonstrates it end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.circuit.netlist import Circuit
+from repro.simulation.fault_sim import FaultSimulator
+from repro.simulation.faults import StuckAtFault, collapse_faults
+from repro.simulation.logic_sim import pack_patterns
+
+__all__ = ["Syndrome", "Match", "FaultDictionary"]
+
+
+@dataclass(frozen=True)
+class Syndrome:
+    """Set of failing (vector index, output index) positions (1-based k)."""
+
+    failures: frozenset[tuple[int, int]]
+
+    @property
+    def failing_vectors(self) -> set[int]:
+        """Vectors with at least one failing output."""
+        return {k for k, _ in self.failures}
+
+    def __len__(self) -> int:
+        return len(self.failures)
+
+    def jaccard(self, other: "Syndrome") -> float:
+        """Similarity in [0, 1]: |intersection| / |union|."""
+        if not self.failures and not other.failures:
+            return 1.0
+        union = self.failures | other.failures
+        if not union:
+            return 1.0
+        return len(self.failures & other.failures) / len(union)
+
+
+@dataclass(frozen=True)
+class Match:
+    """One diagnosis candidate."""
+
+    fault: StuckAtFault
+    score: float
+    exact: bool
+
+
+@dataclass
+class FaultDictionary:
+    """Full-response dictionary for a circuit and a vector sequence."""
+
+    circuit: Circuit
+    patterns: list[list[int]]
+    faults: list[StuckAtFault] = field(default_factory=list)
+    _syndromes: dict[StuckAtFault, Syndrome] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls,
+        circuit: Circuit,
+        patterns: Sequence[Sequence[int]],
+        faults: list[StuckAtFault] | None = None,
+    ) -> "FaultDictionary":
+        """Simulate every fault against every vector, recording failures."""
+        if faults is None:
+            faults = collapse_faults(circuit)
+        simulator = FaultSimulator(circuit)
+        dictionary = cls(
+            circuit=circuit,
+            patterns=[list(p) for p in patterns],
+            faults=list(faults),
+        )
+        groups = pack_patterns(dictionary.patterns, len(circuit.primary_inputs))
+        n_patterns = len(dictionary.patterns)
+        pos = {po: i for i, po in enumerate(circuit.primary_outputs)}
+
+        failures: dict[StuckAtFault, set[tuple[int, int]]] = {
+            f: set() for f in faults
+        }
+        for g, words in enumerate(groups):
+            base = g * 64
+            n_here = min(64, n_patterns - base)
+            mask = (1 << n_here) - 1
+            good = simulator.logic.simulate_packed(words)
+            for fault in faults:
+                per_po = cls._po_diff_words(simulator, fault, good)
+                for po, diff in per_po.items():
+                    diff &= mask
+                    while diff:
+                        bit = (diff & -diff).bit_length() - 1
+                        failures[fault].add((base + bit + 1, pos[po]))
+                        diff &= diff - 1
+        dictionary._syndromes = {
+            f: Syndrome(frozenset(fails)) for f, fails in failures.items()
+        }
+        return dictionary
+
+    @staticmethod
+    def _po_diff_words(
+        simulator: FaultSimulator, fault: StuckAtFault, good: dict[str, int]
+    ) -> dict[str, int]:
+        """Per-output difference words (the per-PO refinement of
+        ``detection_word``)."""
+        from repro.circuit.library import ALL_ONES_64, evaluate_gate_packed
+        from repro.simulation.faults import FaultSite
+
+        stuck_word = ALL_ONES_64 if fault.value else 0
+        cone = simulator._cones[fault.net]
+        faulty: dict[str, int] = {}
+        if fault.site is FaultSite.NET:
+            faulty[fault.net] = stuck_word
+        for gate in cone.gates:
+            operands = []
+            for pin, net in enumerate(gate.inputs):
+                if (
+                    fault.site is FaultSite.GATE_INPUT
+                    and gate.name == fault.gate
+                    and pin == fault.pin
+                ):
+                    operands.append(stuck_word)
+                else:
+                    operands.append(faulty.get(net, good[net]))
+            value = evaluate_gate_packed(gate.gate_type, operands, ALL_ONES_64)
+            if fault.site is FaultSite.NET and gate.output == fault.net:
+                value = stuck_word
+            faulty[gate.output] = value
+        return {
+            po: (faulty.get(po, good[po]) ^ good[po]) & ALL_ONES_64
+            for po in cone.outputs
+        }
+
+    # ------------------------------------------------------------------
+    def syndrome_of(self, fault: StuckAtFault) -> Syndrome:
+        """The dictionary's stored syndrome for a modelled fault."""
+        return self._syndromes[fault]
+
+    def observe(self, responses: Sequence[Sequence[int]]) -> Syndrome:
+        """Build the observed syndrome from tester responses.
+
+        ``responses`` holds the device's output row per vector (PO order);
+        positions differing from the good machine become failures.
+        """
+        if len(responses) != len(self.patterns):
+            raise ValueError("one response row per applied vector required")
+        from repro.simulation.logic_sim import LogicSimulator
+
+        logic = LogicSimulator(self.circuit)
+        expected = logic.run_patterns(self.patterns)
+        failures = set()
+        for k, (got, want) in enumerate(zip(responses, expected), start=1):
+            for j, (g_bit, w_bit) in enumerate(zip(got, want)):
+                if g_bit != w_bit:
+                    failures.add((k, j))
+        return Syndrome(frozenset(failures))
+
+    def diagnose(self, observed: Syndrome, top: int = 5) -> list[Match]:
+        """Rank modelled faults by syndrome similarity (Jaccard)."""
+        matches = [
+            Match(
+                fault=fault,
+                score=observed.jaccard(syndrome),
+                exact=observed.failures == syndrome.failures,
+            )
+            for fault, syndrome in self._syndromes.items()
+        ]
+        matches.sort(key=lambda m: (-m.score, str(m.fault)))
+        return matches[:top]

@@ -1,0 +1,41 @@
+"""End-to-end evaluation pipeline and per-figure reproductions."""
+
+from repro.experiments.figures import (
+    FigureData,
+    example1_required_coverage,
+    example2_residual_dl,
+    figure1_coverage_growth,
+    figure2_model_curves,
+    figure3_weight_histogram,
+    figure4_coverage_curves,
+    figure5_dl_vs_T,
+    figure6_dl_vs_gamma,
+)
+from repro.experiments.pipeline import (
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+)
+from repro.experiments.reporting import (
+    format_histogram,
+    format_series_plot,
+    format_table,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "FigureData",
+    "example1_required_coverage",
+    "example2_residual_dl",
+    "figure1_coverage_growth",
+    "figure2_model_curves",
+    "figure3_weight_histogram",
+    "figure4_coverage_curves",
+    "figure5_dl_vs_T",
+    "figure6_dl_vs_gamma",
+    "format_histogram",
+    "format_series_plot",
+    "format_table",
+    "run_experiment",
+]

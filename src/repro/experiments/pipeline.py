@@ -1,0 +1,224 @@
+"""The paper's end-to-end evaluation pipeline.
+
+One run reproduces the experimental setup of section 3:
+
+1. take a benchmark circuit (c432-class by default);
+2. generate the stuck-at test sequence — a random prefix (>80 % coverage)
+   topped off by deterministic (PODEM) vectors, exactly the paper's recipe;
+3. gate-level fault simulation of the sequence -> ``T(k)`` over the
+   equivalence-collapsed, provably-irredundant stuck-at universe (the paper
+   neglects redundant faults so that T -> 1);
+4. build the standard-cell layout, extract weighted realistic faults, and
+   rescale the weights so the predicted yield is Y = 0.75 (the paper's
+   yield-scaling step);
+5. switch-level fault simulation of the same sequence -> ``theta(k)``
+   (weighted) and ``Gamma(k)`` (unweighted);
+6. assemble ``DL(theta(k))`` (eq. 3) and fit eq. 11's ``(R, theta_max)`` to
+   the ``(T(k), DL(theta(k)))`` points.
+
+Results are memoised per configuration: every figure bench shares one run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.atpg.podem import generate_deterministic_tests
+from repro.atpg.random_atpg import generate_random_tests
+from repro.circuit.iscas import load_benchmark
+from repro.circuit.netlist import Circuit
+from repro.core.defect_level import weighted_defect_level
+from repro.core.fitting import SousaFit, fit_sousa_model
+from repro.defects.extraction import extract_faults
+from repro.defects.fault_types import FaultList
+from repro.defects.statistics import DefectStatistics
+from repro.layout.design import LayoutDesign, build_layout
+from repro.simulation.fault_sim import FaultSimResult, FaultSimulator
+from repro.simulation.faults import StuckAtFault, collapse_faults
+from repro.switchsim.coverage import CoverageCurves, build_coverage
+from repro.switchsim.simulator import SwitchLevelFaultSimulator, SwitchSimResult
+
+__all__ = ["ExperimentConfig", "ExperimentResult", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs of one pipeline run (hashable: results are memoised)."""
+
+    benchmark: str = "c432"
+    target_yield: float = 0.75
+    random_coverage_target: float = 0.90
+    max_random_patterns: int = 768
+    backtrack_limit: int = 2000
+    seed: int = 1234
+    statistics: DefectStatistics | None = None
+    detection: str = "voltage"
+    #: When False, the paper's deterministic (PODEM) top-off is skipped and
+    #: only the random prefix is applied (vector-source ablation).
+    deterministic_topoff: bool = True
+
+    def __hash__(self) -> int:  # DefectStatistics carries dicts
+        stats_key = (
+            None
+            if self.statistics is None
+            else tuple(sorted((m.value, d) for m, d in self.statistics.densities.items()))
+            + (self.statistics.size.x0, self.statistics.size.x_max)
+        )
+        return hash(
+            (
+                self.benchmark,
+                self.target_yield,
+                self.random_coverage_target,
+                self.max_random_patterns,
+                self.backtrack_limit,
+                self.seed,
+                stats_key,
+                self.detection,
+                self.deterministic_topoff,
+            )
+        )
+
+
+@dataclass
+class ExperimentResult:
+    """Everything the figure reproductions need from one pipeline run."""
+
+    config: ExperimentConfig
+    circuit: Circuit
+    design: LayoutDesign
+    test_patterns: list[list[int]]
+    n_random: int
+    stuck_faults: list[StuckAtFault]
+    redundant_faults: list[StuckAtFault]
+    stuck_result: FaultSimResult
+    realistic_faults: FaultList
+    switch_result: SwitchSimResult
+    coverage: CoverageCurves
+    sample_ks: list[int] = field(default_factory=list)
+
+    # -- per-k series ------------------------------------------------------
+    def T_at(self, k: int) -> float:
+        """Stuck-at coverage over the irredundant collapsed universe."""
+        return self.stuck_result.coverage_at(k)
+
+    def theta_at(self, k: int) -> float:
+        """Weighted realistic coverage (eq. 6)."""
+        return self.coverage.theta_at(k)
+
+    def gamma_at(self, k: int) -> float:
+        """Unweighted realistic coverage."""
+        return self.coverage.gamma_at(k)
+
+    def dl_at(self, k: int) -> float:
+        """'Actual' defect level DL(theta(k)) via eq. 3."""
+        return weighted_defect_level(self.config.target_yield, self.theta_at(k))
+
+    def series(self) -> list[tuple[int, float, float, float, float]]:
+        """(k, T, theta, Gamma, DL) rows at the sample vector counts."""
+        return [
+            (k, self.T_at(k), self.theta_at(k), self.gamma_at(k), self.dl_at(k))
+            for k in self.sample_ks
+        ]
+
+    def fit(self) -> SousaFit:
+        """Fit eq. 11's (R, theta_max) to the (T(k), DL(theta(k))) points."""
+        points = [
+            (self.T_at(k), self.dl_at(k))
+            for k in self.sample_ks
+            if self.T_at(k) > 0
+        ]
+        coverages = [p[0] for p in points]
+        dls = [p[1] for p in points]
+        return fit_sousa_model(coverages, dls, self.config.target_yield)
+
+    @property
+    def theta_max(self) -> float:
+        """Saturation value of the measured theta(k)."""
+        return self.coverage.theta_max
+
+    @property
+    def final_T(self) -> float:
+        """Final stuck-at coverage of the complete sequence."""
+        return self.stuck_result.coverage
+
+
+def _sample_ks(n_patterns: int) -> list[int]:
+    ks: list[int] = []
+    k = 1
+    while k < n_patterns:
+        ks.append(k)
+        k = max(k + 1, int(k * 1.4))
+    ks.append(n_patterns)
+    return ks
+
+
+@lru_cache(maxsize=8)
+def _run_cached(config: ExperimentConfig) -> ExperimentResult:
+    circuit = load_benchmark(config.benchmark)
+
+    # --- stuck-at universe and test sequence (paper section 3) ---
+    collapsed = collapse_faults(circuit)
+    random_result = generate_random_tests(
+        circuit,
+        collapsed,
+        target_coverage=config.random_coverage_target,
+        max_patterns=config.max_random_patterns,
+        seed=config.seed,
+    )
+    if config.deterministic_topoff:
+        deterministic = generate_deterministic_tests(
+            circuit,
+            random_result.undetected,
+            backtrack_limit=config.backtrack_limit,
+        )
+        # The paper assumes "redundant faults can be neglected, so T(k) -> 1".
+        # Proven-redundant faults are excluded from the coverage denominator;
+        # backtrack-aborted faults (overwhelmingly redundant too at this
+        # limit — see tests/test_podem.py) are excluded alongside, reported.
+        redundant = list(deterministic.redundant) + list(deterministic.aborted)
+        deterministic_patterns = list(deterministic.test_set.patterns)
+    else:
+        redundant = []
+        deterministic_patterns = []
+    testable = [f for f in collapsed if f not in set(redundant)]
+    patterns = list(random_result.test_set.patterns) + deterministic_patterns
+
+    stuck_sim = FaultSimulator(circuit)
+    stuck_result = stuck_sim.run(patterns, faults=testable)
+
+    # --- layout, extraction, yield scaling ---
+    design = build_layout(circuit)
+    statistics = config.statistics or DefectStatistics()
+    faults = extract_faults(design, statistics).scaled_to_yield(config.target_yield)
+
+    # --- switch-level simulation of the same sequence ---
+    switch = SwitchLevelFaultSimulator(design, patterns)
+    switch_result = switch.run(faults.faults)
+    coverage = build_coverage(faults, switch_result, technique=config.detection)
+
+    return ExperimentResult(
+        config=config,
+        circuit=circuit,
+        design=design,
+        test_patterns=patterns,
+        n_random=len(random_result.test_set),
+        stuck_faults=testable,
+        redundant_faults=redundant,
+        stuck_result=stuck_result,
+        realistic_faults=faults,
+        switch_result=switch_result,
+        coverage=coverage,
+        sample_ks=_sample_ks(len(patterns)),
+    )
+
+
+def run_experiment(config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Run (or fetch the memoised) end-to-end pipeline for ``config``."""
+    return _run_cached(config or ExperimentConfig())
+
+
+def scaled_weight_check(result: ExperimentResult) -> float:
+    """Sanity: the scaled fault list's predicted yield (should equal target)."""
+    return math.exp(-result.realistic_faults.total_weight())

@@ -1,0 +1,103 @@
+"""Plain-text reporting helpers for benches and examples.
+
+Everything the paper shows as a figure is reproduced as a printed series or
+ASCII chart so the benchmark harness output is self-contained.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_histogram", "format_series_plot"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def format_histogram(
+    bin_edges: Sequence[float],
+    counts: Sequence[int],
+    label: str = "",
+    width: int = 50,
+) -> str:
+    """Render a horizontal ASCII bar histogram."""
+    if len(bin_edges) != len(counts) + 1:
+        raise ValueError("need one more edge than bins")
+    peak = max(counts) if counts else 1
+    lines = [label] if label else []
+    for i, count in enumerate(counts):
+        bar = "#" * (0 if peak == 0 else round(width * count / peak))
+        lines.append(
+            f"[{bin_edges[i]:8.2f}, {bin_edges[i + 1]:8.2f})  {count:6d}  {bar}"
+        )
+    return "\n".join(lines)
+
+
+def format_series_plot(
+    series: dict[str, Sequence[tuple[float, float]]],
+    x_label: str,
+    y_label: str,
+    height: int = 18,
+    width: int = 70,
+    log_y: bool = False,
+) -> str:
+    """Render several (x, y) series as one ASCII scatter chart."""
+    import math
+
+    points = [(x, y, name) for name, pts in series.items() for x, y in pts]
+    if not points:
+        return "(no data)"
+
+    def ty(y: float) -> float:
+        return math.log10(max(y, 1e-12)) if log_y else y
+
+    xs = [p[0] for p in points]
+    ys = [ty(p[1]) for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@%&"
+    for index, (name, pts) in enumerate(series.items()):
+        mark = markers[index % len(markers)]
+        for x, y in pts:
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = round((ty(y) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = mark
+
+    lines = [f"{y_label}  (rows {y_lo:.3g} .. {y_hi:.3g}"
+             + (", log10 scale)" if log_y else ")")]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_lo:.3g} .. {x_hi:.3g}")
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(f" legend: {legend}")
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) < 1e-3 or abs(value) >= 1e5):
+            return f"{value:.3e}"
+        return f"{value:.4f}"
+    return str(value)

@@ -1,0 +1,373 @@
+"""Procedural CMOS standard-cell generation.
+
+Each mapped gate (INV, NAND2-4, NOR2-4 — see :mod:`repro.layout.techmap`)
+becomes a :class:`CellLayout`: a transistor-level netlist plus real mask
+geometry in cell-local coordinates.  The template follows the classic
+two-rail standard-cell image of ~1 um 2-metal processes:
+
+* horizontal metal1 power rails at the cell top (VDD) and bottom (GND),
+* a PMOS diffusion band under the VDD rail, an NMOS band above the GND rail,
+* one vertical poly stripe per input crossing both bands (the gates),
+* metal1 stubs/straps for the series/parallel source-drain wiring and a
+  vertical metal1 output spine,
+* input pins as poly extensions contacted to metal1 pads *below* the cell
+  (in the routing channel), and the output pin as a metal2 pad dropped from
+  a via on the spine — so the router never has to cross the rails in metal1.
+
+All shapes carry their electrical net name, which is what the defect
+extractor consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuit.library import GateType
+from repro.circuit.netlist import Circuit, Gate
+from repro.layout.geometry import DesignRules, Layer, Rect
+
+__all__ = [
+    "Transistor",
+    "CellLayout",
+    "build_cell",
+    "CELL_HEIGHT",
+    "PIN_BAND",
+    "VDD",
+    "GND",
+]
+
+#: Global power net names used across the whole design.
+VDD = "VDD"
+GND = "GND"
+
+# Cell template coordinates (micrometres, cell-local).
+CELL_HEIGHT = 26.0
+RAIL_GND_Y = (0.0, 2.0)
+RAIL_VDD_Y = (24.0, 26.0)
+NDIFF_Y = (4.0, 7.0)
+PDIFF_Y = (19.0, 22.0)
+POLY_Y = (-3.0, 23.0)       # stripes run from the pin band through both bands
+PIN_BAND = (-3.0, -1.0)     # pad band in the channel below the cell
+POLY_PITCH = 4.0
+FIRST_POLY_LEFT = 3.0
+POLY_WIDTH = 1.0
+DIFF_LEFT = 1.5
+M1_HALF = 0.75              # half of metal1 width 1.5
+NMOS_STRIP_Y = (8.0, 9.5)   # below-spine OUT strap for NOR pull-down
+PMOS_STRIP_Y = (16.5, 18.0)  # above-spine OUT strap for NAND pull-up
+
+#: Transistor electrical strength per unit W/L, NMOS mobility reference.
+NMOS_STRENGTH_PER_SQUARE = 1.0
+PMOS_STRENGTH_PER_SQUARE = 0.5
+
+
+@dataclass(frozen=True)
+class Transistor:
+    """One MOS device of a cell.
+
+    ``source``/``drain`` are interchangeable electrically; by convention the
+    source is the supply side of series chains.  ``channel`` is the gate-oxide
+    region (poly over diffusion), used for oxide-short critical areas.
+    """
+
+    name: str
+    polarity: str  # "n" or "p"
+    gate: str
+    source: str
+    drain: str
+    width: float
+    length: float
+    channel: Rect
+
+    @property
+    def strength(self) -> float:
+        """Drive strength (conductance units) of the device when fully on."""
+        per_square = (
+            NMOS_STRENGTH_PER_SQUARE
+            if self.polarity == "n"
+            else PMOS_STRENGTH_PER_SQUARE
+        )
+        return per_square * self.width / self.length
+
+
+@dataclass
+class CellLayout:
+    """A placed-at-origin standard cell: netlist + geometry + pins."""
+
+    instance: str
+    gate_type: GateType
+    input_nets: tuple[str, ...]
+    output_net: str
+    width: float
+    height: float = CELL_HEIGHT
+    shapes: list[Rect] = field(default_factory=list)
+    #: net -> one representative pad (the output pad for the output net).
+    pins: dict[str, Rect] = field(default_factory=dict)
+    #: every pad, in pin order — a net repeated on several gate pins (e.g.
+    #: NAND(a, a)) contributes one pad per pin, and all must be routed.
+    pads: list[tuple[str, Rect]] = field(default_factory=list)
+    transistors: list[Transistor] = field(default_factory=list)
+    internal_nets: list[str] = field(default_factory=list)
+
+    @property
+    def input_pad_x(self) -> dict[str, float]:
+        """Pin-pad centre x per input net (cell-local)."""
+        return {
+            net: (pad.llx + pad.urx) / 2
+            for net, pad in self.pins.items()
+            if net != self.output_net
+        }
+
+    @property
+    def output_pad_x(self) -> float:
+        """Output pad centre x (cell-local)."""
+        pad = self.pins[self.output_net]
+        return (pad.llx + pad.urx) / 2
+
+
+def _poly_stripe_x(i: int) -> tuple[float, float]:
+    left = FIRST_POLY_LEFT + i * POLY_PITCH
+    return left, left + POLY_WIDTH
+
+
+def _segment_x(i: int, n: int) -> tuple[float, float]:
+    """Diffusion S/D segment i (0..n) for an n-transistor row."""
+    if i == 0:
+        return DIFF_LEFT, FIRST_POLY_LEFT
+    left = FIRST_POLY_LEFT + (i - 1) * POLY_PITCH + POLY_WIDTH
+    if i == n:
+        return left, left + 3.0
+    return left, FIRST_POLY_LEFT + i * POLY_PITCH
+
+
+def _seg_center(i: int, n: int) -> float:
+    lo, hi = _segment_x(i, n)
+    return (lo + hi) / 2
+
+
+def _contact(x_center: float, y_center: float, net: str) -> Rect:
+    return Rect(
+        Layer.CONTACT, x_center - 0.5, y_center - 0.5, x_center + 0.5, y_center + 0.5, net
+    )
+
+
+def build_cell(
+    gate: Gate, rules: DesignRules | None = None
+) -> CellLayout:
+    """Generate the standard-cell layout for one mapped gate.
+
+    Supports INV (``NOT``) and NAND/NOR with 2-4 inputs.  Raises
+    ``ValueError`` for anything else — run :func:`repro.layout.techmap.techmap`
+    first.
+    """
+    del rules  # template dimensions are currently fixed; kept for API symmetry
+    gt, n = gate.gate_type, len(gate.inputs)
+    if gt is GateType.NOT:
+        if n != 1:
+            raise ValueError("INV cell takes exactly one input")
+    elif gt in (GateType.NAND, GateType.NOR):
+        if not 2 <= n <= 4:
+            raise ValueError(f"{gt.value}{n} is not in the cell library (2-4)")
+    else:
+        raise ValueError(f"no physical cell for {gt.value}; techmap the netlist first")
+
+    inst = gate.name
+    out = gate.output
+    cell = CellLayout(
+        instance=inst,
+        gate_type=gt,
+        input_nets=tuple(gate.inputs),
+        output_net=out,
+        width=POLY_PITCH * n + 5.0,
+    )
+    shapes = cell.shapes
+
+    # Rails ("rail" purpose: the design assembler replaces these with one
+    # continuous rail per row so the rail is a single conductor, not a chain
+    # of overlapping per-cell pieces).
+    shapes.append(
+        Rect(Layer.METAL1, 0, RAIL_GND_Y[0], cell.width, RAIL_GND_Y[1], GND, "rail")
+    )
+    shapes.append(
+        Rect(Layer.METAL1, 0, RAIL_VDD_Y[0], cell.width, RAIL_VDD_Y[1], VDD, "rail")
+    )
+
+    # Poly gates with pin pads.
+    for i, net in enumerate(gate.inputs):
+        px0, px1 = _poly_stripe_x(i)
+        shapes.append(Rect(Layer.POLY, px0, POLY_Y[0], px1, POLY_Y[1], net, "gate"))
+        cx = (px0 + px1) / 2
+        shapes.append(_contact(cx, -2.0, net))
+        pad = Rect(Layer.METAL1, cx - M1_HALF, PIN_BAND[0], cx + M1_HALF, PIN_BAND[1], net, "pin")
+        shapes.append(pad)
+        cell.pins[net] = pad
+        cell.pads.append((net, pad))
+
+    spine_x = _seg_center(n, n)
+    series_internal = []
+
+    if gt is GateType.NOT:
+        _diff_row(cell, Layer.NDIFF, NDIFF_Y, [GND, out], n)
+        _diff_row(cell, Layer.PDIFF, PDIFF_Y, [VDD, out], n)
+        _stub_down(cell, _seg_center(0, n), GND)
+        _stub_up(cell, _seg_center(0, n), VDD)
+        shapes.append(_contact(_seg_center(0, n), 5.5, GND))
+        shapes.append(_contact(_seg_center(0, n), 20.5, VDD))
+        shapes.append(_contact(spine_x, 5.5, out))
+        shapes.append(_contact(spine_x, 20.5, out))
+        spine_y = (5.0, 21.0)
+    elif gt is GateType.NAND:
+        # NMOS series GND -> out; PMOS parallel VDD/out alternating.
+        series_internal = [f"{inst}#n{i}" for i in range(1, n)]
+        nmos_nets = [GND, *series_internal, out]
+        pmos_nets = [VDD if i % 2 == 0 else out for i in range(n + 1)]
+        _diff_row(cell, Layer.NDIFF, NDIFF_Y, nmos_nets, n)
+        _diff_row(cell, Layer.PDIFF, PDIFF_Y, pmos_nets, n)
+        _stub_down(cell, _seg_center(0, n), GND)
+        shapes.append(_contact(_seg_center(0, n), 5.5, GND))
+        shapes.append(_contact(spine_x, 5.5, out))
+        strip_lo = None
+        for i, net in enumerate(pmos_nets):
+            cx = _seg_center(i, n)
+            shapes.append(_contact(cx, 20.5, net))
+            if net == VDD:
+                _stub_up(cell, cx, VDD)
+            elif i < n:  # interior OUT contact -> connector down to the strip
+                shapes.append(
+                    Rect(Layer.METAL1, cx - M1_HALF, PMOS_STRIP_Y[0], cx + M1_HALF, 21.0, out)
+                )
+                strip_lo = cx if strip_lo is None else min(strip_lo, cx)
+        if strip_lo is not None:
+            shapes.append(
+                Rect(
+                    Layer.METAL1,
+                    strip_lo - M1_HALF,
+                    PMOS_STRIP_Y[0],
+                    spine_x + M1_HALF,
+                    PMOS_STRIP_Y[1],
+                    out,
+                )
+            )
+        spine_y = (5.0, 21.0) if pmos_nets[n] == out else (5.0, PMOS_STRIP_Y[1])
+    else:  # NOR: PMOS series VDD -> out; NMOS parallel GND/out alternating.
+        series_internal = [f"{inst}#p{i}" for i in range(1, n)]
+        pmos_nets = [VDD, *series_internal, out]
+        nmos_nets = [GND if i % 2 == 0 else out for i in range(n + 1)]
+        _diff_row(cell, Layer.PDIFF, PDIFF_Y, pmos_nets, n)
+        _diff_row(cell, Layer.NDIFF, NDIFF_Y, nmos_nets, n)
+        _stub_up(cell, _seg_center(0, n), VDD)
+        shapes.append(_contact(_seg_center(0, n), 20.5, VDD))
+        shapes.append(_contact(spine_x, 20.5, out))
+        strip_lo = None
+        for i, net in enumerate(nmos_nets):
+            cx = _seg_center(i, n)
+            shapes.append(_contact(cx, 5.5, net))
+            if net == GND:
+                _stub_down(cell, cx, GND)
+            elif i < n:
+                shapes.append(
+                    Rect(Layer.METAL1, cx - M1_HALF, 5.0, cx + M1_HALF, NMOS_STRIP_Y[1], out)
+                )
+                strip_lo = cx if strip_lo is None else min(strip_lo, cx)
+        if strip_lo is not None:
+            shapes.append(
+                Rect(
+                    Layer.METAL1,
+                    strip_lo - M1_HALF,
+                    NMOS_STRIP_Y[0],
+                    spine_x + M1_HALF,
+                    NMOS_STRIP_Y[1],
+                    out,
+                )
+            )
+        spine_y = (5.0, 21.0) if nmos_nets[n] == out else (NMOS_STRIP_Y[0], 21.0)
+
+    # Output spine, via, metal2 drop to the pin pad.  The pad is offset
+    # 1.5 um right of the spine (with a short metal2 jog at the via) so its
+    # vertical metal2 keeps full spacing from the last input pin's branch.
+    shapes.append(
+        Rect(Layer.METAL1, spine_x - M1_HALF, spine_y[0], spine_x + M1_HALF, spine_y[1], out)
+    )
+    via_y = spine_y[0] + 1.5
+    out_x = spine_x + 1.5
+    shapes.append(
+        Rect(Layer.VIA, spine_x - 0.5, via_y - 0.5, spine_x + 0.5, via_y + 0.5, out)
+    )
+    shapes.append(
+        Rect(
+            Layer.METAL2,
+            spine_x - M1_HALF,
+            via_y - 0.75,
+            out_x + M1_HALF,
+            via_y + 0.75,
+            out,
+        )
+    )
+    shapes.append(
+        Rect(Layer.METAL2, out_x - M1_HALF, PIN_BAND[0], out_x + M1_HALF, via_y + 0.75, out)
+    )
+    out_pad = Rect(
+        Layer.METAL2, out_x - M1_HALF, PIN_BAND[0], out_x + M1_HALF, PIN_BAND[1], out, "pin"
+    )
+    cell.pins[out] = out_pad
+    cell.pads.append((out, out_pad))
+
+    # Transistor records with channel rectangles.
+    for i, net in enumerate(gate.inputs):
+        px0, px1 = _poly_stripe_x(i)
+        n_channel = Rect(Layer.POLY, px0, NDIFF_Y[0], px1, NDIFF_Y[1], net, "channel")
+        p_channel = Rect(Layer.POLY, px0, PDIFF_Y[0], px1, PDIFF_Y[1], net, "channel")
+        n_width = NDIFF_Y[1] - NDIFF_Y[0]
+        p_width = PDIFF_Y[1] - PDIFF_Y[0]
+        if gt is GateType.NOT:
+            n_src, n_drn = GND, out
+            p_src, p_drn = VDD, out
+        elif gt is GateType.NAND:
+            chain = [GND, *series_internal, out]
+            n_src, n_drn = chain[i], chain[i + 1]
+            p_src, p_drn = VDD, out
+        else:
+            chain = [VDD, *series_internal, out]
+            p_src, p_drn = chain[i], chain[i + 1]
+            n_src, n_drn = GND, out
+        cell.transistors.append(
+            Transistor(f"{inst}.N{i}", "n", net, n_src, n_drn, n_width, POLY_WIDTH, n_channel)
+        )
+        cell.transistors.append(
+            Transistor(f"{inst}.P{i}", "p", net, p_src, p_drn, p_width, POLY_WIDTH, p_channel)
+        )
+
+    cell.internal_nets = list(series_internal)
+    return cell
+
+
+def _diff_row(
+    cell: CellLayout,
+    layer: Layer,
+    band: tuple[float, float],
+    seg_nets: list[str],
+    n: int,
+) -> None:
+    """Emit the S/D diffusion segments of one transistor row."""
+    for i, net in enumerate(seg_nets):
+        x0, x1 = _segment_x(i, n)
+        cell.shapes.append(Rect(layer, x0, band[0], x1, band[1], net, "sd"))
+
+
+def _stub_down(cell: CellLayout, x_center: float, net: str) -> None:
+    """Vertical metal1 strap from a contact down into the GND rail."""
+    cell.shapes.append(
+        Rect(Layer.METAL1, x_center - M1_HALF, 0.0, x_center + M1_HALF, 6.25, net)
+    )
+
+
+def _stub_up(cell: CellLayout, x_center: float, net: str) -> None:
+    """Vertical metal1 strap from a contact up into the VDD rail."""
+    cell.shapes.append(
+        Rect(Layer.METAL1, x_center - M1_HALF, 20.0, x_center + M1_HALF, 26.0, net)
+    )
+
+
+def build_cells(circuit: Circuit) -> list[CellLayout]:
+    """Generate cells for every gate of a tech-mapped circuit."""
+    return [build_cell(gate) for gate in circuit.gates]

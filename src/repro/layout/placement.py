@@ -1,0 +1,155 @@
+"""Row-based standard-cell placement.
+
+Cells are placed in horizontal rows in depth-first cone order
+(:func:`repro.circuit.levelize.dfs_topological`), which keeps each logic
+cone contiguous — the cheap stand-in for a wirelength-driven placer, and a
+load-bearing choice for the experiment's fault statistics (see DESIGN.md
+section 4b).  Rows are filled greedily to a common target width, skipping
+the vertical feedthrough lanes the router uses for inter-row metal2 risers,
+so the die comes out roughly square given the row-plus-channel pitch.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.circuit.levelize import dfs_topological
+from repro.circuit.netlist import Circuit
+from repro.layout.cells import CELL_HEIGHT, CellLayout, build_cell
+
+__all__ = ["PlacedCell", "Placement", "place"]
+
+#: Rough estimate of routing-channel height used only to pick the row count.
+_CHANNEL_ESTIMATE = 18.0
+
+#: Space reserved at the left die edge for power straps.
+POWER_MARGIN = 8.0
+
+
+@dataclass
+class PlacedCell:
+    """One cell instance at its absolute position."""
+
+    cell: CellLayout
+    x: float
+    row: int
+
+
+@dataclass
+class Placement:
+    """The placed design: rows of cells plus die-level metrics."""
+
+    rows: list[list[PlacedCell]] = field(default_factory=list)
+    row_width: float = 0.0
+    #: Vertical feedthrough lanes (x_lo, x_hi) kept free of cells in every
+    #: row, giving the router metal2 riser columns through the core.
+    lanes: list[tuple[float, float]] = field(default_factory=list)
+
+    @property
+    def n_rows(self) -> int:
+        """Number of cell rows."""
+        return len(self.rows)
+
+    @property
+    def die_width(self) -> float:
+        """Total die width including the power-strap margin."""
+        return POWER_MARGIN + self.row_width
+
+    @property
+    def cells(self) -> list[PlacedCell]:
+        """All placed cells, bottom row first."""
+        return [pc for row in self.rows for pc in row]
+
+    def total_cell_area(self) -> float:
+        """Sum of cell footprints."""
+        return sum(pc.cell.width * CELL_HEIGHT for pc in self.cells)
+
+
+def place(
+    mapped: Circuit,
+    aspect: float = 1.0,
+    lane_pitch: float = 40.0,
+    lane_width: float = 11.0,
+) -> Placement:
+    """Place the cells of a tech-mapped circuit into rows.
+
+    Parameters
+    ----------
+    mapped:
+        Circuit over the physical cell library (see ``techmap``).
+    aspect:
+        Desired die height/width ratio; 1.0 aims for a square die.
+    lane_pitch / lane_width:
+        Spacing and width of the vertical feedthrough lanes kept free of
+        cells, which the router uses for inter-row metal2 risers (the
+        two-layer-process equivalent of feedthrough cells).
+    """
+    cells = [build_cell(gate) for gate in dfs_topological(mapped)]
+    total_width = sum(c.width for c in cells)
+
+    # Group decomposition clusters (techmap names a compound gate's internal
+    # cells `<base>$k`): keeping a cluster in one row keeps its internal
+    # nets riser-free and short, the way a library's compound cell would.
+    groups: list[list[CellLayout]] = []
+    for cell in cells:
+        key = cell.instance.split("$")[0]
+        if groups and groups[-1][0].instance.split("$")[0] == key:
+            groups[-1].append(cell)
+        else:
+            groups.append([cell])
+    # Lanes inflate the effective row width by roughly their area share.
+    lane_factor = 1.0 + lane_width / max(lane_pitch, lane_width + 1.0)
+    row_pitch = CELL_HEIGHT + _CHANNEL_ESTIMATE
+    n_rows = max(1, round(math.sqrt(aspect * total_width * lane_factor / row_pitch)))
+    target = total_width * lane_factor / n_rows
+
+    lanes = [
+        (POWER_MARGIN + (k + 1) * lane_pitch, POWER_MARGIN + (k + 1) * lane_pitch + lane_width)
+        for k in range(int(target // lane_pitch) + 1)
+        if POWER_MARGIN + (k + 1) * lane_pitch < POWER_MARGIN + target
+    ]
+
+    def advance_past_lanes(x: float, width: float) -> float:
+        for lo, hi in lanes:
+            if x < hi and lo < x + width:
+                x = hi
+        return x
+
+    placement = Placement(lanes=lanes)
+    current: list[PlacedCell] = []
+    cursor = POWER_MARGIN
+    row = 0
+    for group in groups:
+        group_width = sum(c.width for c in group)
+        x = advance_past_lanes(cursor, group[0].width)
+        # Row break decided per *group*, so clusters never straddle rows
+        # (a cluster wider than a row still has to split).
+        breaks = (
+            current
+            and x - POWER_MARGIN + group_width > target * 1.05
+            and group_width <= target
+        )
+        if breaks:
+            placement.rows.append(current)
+            current = []
+            cursor = POWER_MARGIN
+            row += 1
+        for cell in group:
+            x = advance_past_lanes(cursor, cell.width)
+            if current and x - POWER_MARGIN + cell.width > target * 1.35:
+                # Oversize escape hatch: even a cluster must wrap eventually.
+                placement.rows.append(current)
+                current = []
+                cursor = POWER_MARGIN
+                row += 1
+                x = advance_past_lanes(cursor, cell.width)
+            current.append(PlacedCell(cell, x, row))
+            cursor = x + cell.width
+    if current:
+        placement.rows.append(current)
+    placement.row_width = max(
+        ((r[-1].x + r[-1].cell.width - POWER_MARGIN) for r in placement.rows if r),
+        default=0.0,
+    )
+    return placement

@@ -1,0 +1,115 @@
+"""SVG rendering of layouts for visual inspection.
+
+Writes a self-contained SVG with one translucent colour per mask layer, in
+mask order (wells at the bottom, metal2 on top), plus optional net tooltips.
+Useful for debugging the generators and for documentation screenshots; no
+third-party dependencies.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.layout.design import LayoutDesign
+from repro.layout.geometry import Layer, Rect
+
+__all__ = ["render_svg", "LAYER_STYLE"]
+
+#: Fill colour and opacity per layer, drawn bottom-up in this order.
+LAYER_STYLE: dict[Layer, tuple[str, float]] = {
+    Layer.NWELL: ("#f2e8c9", 0.5),
+    Layer.NDIFF: ("#2e8b57", 0.65),
+    Layer.PDIFF: ("#c8a415", 0.65),
+    Layer.POLY: ("#d04a35", 0.7),
+    Layer.CONTACT: ("#1a1a1a", 0.9),
+    Layer.METAL1: ("#3f6fbf", 0.55),
+    Layer.VIA: ("#5e2d79", 0.9),
+    Layer.METAL2: ("#b03060", 0.45),
+}
+
+
+def render_svg(
+    shapes_or_design: LayoutDesign | Iterable[Rect],
+    path: str | Path | None = None,
+    scale: float = 2.0,
+    tooltips: bool = True,
+) -> str:
+    """Render shapes (or a whole design) to SVG text.
+
+    Parameters
+    ----------
+    shapes_or_design:
+        A :class:`LayoutDesign` or any iterable of rectangles.
+    path:
+        When given, the SVG text is also written to this file.
+    scale:
+        Pixels per micrometre.
+    tooltips:
+        Emit ``<title>`` elements (net and purpose) per rectangle.
+
+    Returns
+    -------
+    str
+        The SVG document.
+    """
+    if isinstance(shapes_or_design, LayoutDesign):
+        shapes = list(shapes_or_design.shapes)
+        name = shapes_or_design.name
+    else:
+        shapes = list(shapes_or_design)
+        name = "layout"
+    if not shapes:
+        raise ValueError("nothing to render")
+
+    x_lo = min(s.llx for s in shapes)
+    y_lo = min(s.lly for s in shapes)
+    x_hi = max(s.urx for s in shapes)
+    y_hi = max(s.ury for s in shapes)
+    width = (x_hi - x_lo) * scale
+    height = (y_hi - y_lo) * scale
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" '
+        f'height="{height:.0f}" viewBox="0 0 {width:.2f} {height:.2f}">',
+        f"<!-- {name}: {len(shapes)} shapes, "
+        f"{x_hi - x_lo:.1f} x {y_hi - y_lo:.1f} um -->",
+        f'<rect width="{width:.2f}" height="{height:.2f}" fill="#fbfaf7"/>',
+    ]
+
+    order = list(LAYER_STYLE)
+    for layer in order:
+        fill, opacity = LAYER_STYLE[layer]
+        group = [s for s in shapes if s.layer is layer]
+        if not group:
+            continue
+        parts.append(f'<g fill="{fill}" fill-opacity="{opacity}">')
+        for s in group:
+            x = (s.llx - x_lo) * scale
+            # SVG's y axis grows downward; flip so the die reads naturally.
+            y = (y_hi - s.ury) * scale
+            w = s.width * scale
+            h = s.height * scale
+            title = (
+                f"<title>{_escape(s.net)} [{s.layer.value}"
+                + (f"/{s.purpose}" if s.purpose != "wire" else "")
+                + "]</title>"
+                if tooltips and s.net
+                else ""
+            )
+            parts.append(
+                f'<rect x="{x:.2f}" y="{y:.2f}" width="{w:.2f}" '
+                f'height="{h:.2f}">{title}</rect>'
+            )
+        parts.append("</g>")
+    parts.append("</svg>")
+    text = "\n".join(parts)
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )

@@ -1,0 +1,140 @@
+"""Technology mapping onto the physical standard-cell library.
+
+The cell generator realises only static complementary CMOS primitives — INV
+and NAND/NOR up to four inputs — as real standard-cell libraries of the
+paper's era did.  :func:`techmap` rewrites an arbitrary gate-level circuit
+into an equivalent netlist over those primitives:
+
+* ``AND``/``OR``  -> NAND/NOR + INV (wide gates decomposed into trees),
+* ``XOR``        -> the classic four-NAND2 realisation (chained for n > 2),
+* ``XNOR``       -> XOR + INV,
+* ``BUF``        -> two INVs.
+
+Primary inputs, primary outputs and all original net names are preserved, so
+stuck-at faults and extracted layout faults can be reported against the
+original netlist's nets.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.library import GateType
+from repro.circuit.netlist import Circuit, Gate
+
+__all__ = ["techmap", "MAX_CELL_FANIN"]
+
+#: Largest fan-in the physical cell library provides.
+MAX_CELL_FANIN = 4
+
+
+class _Mapper:
+    def __init__(self, source: Circuit):
+        self.source = source
+        self.mapped = Circuit(name=f"{source.name}_mapped")
+        self._counter = 0
+
+    def fresh(self, base: str) -> str:
+        self._counter += 1
+        return f"{base}${self._counter}"
+
+    # -- primitive emitters ------------------------------------------------
+    def emit_inv(self, source_net: str, output: str) -> str:
+        self.mapped.add_gate(GateType.NOT, [source_net], output)
+        return output
+
+    def emit_nand(self, inputs: list[str], output: str) -> str:
+        if len(inputs) == 1:
+            return self.emit_inv(inputs[0], output)
+        self.mapped.add_gate(GateType.NAND, inputs, output)
+        return output
+
+    def emit_nor(self, inputs: list[str], output: str) -> str:
+        if len(inputs) == 1:
+            return self.emit_inv(inputs[0], output)
+        self.mapped.add_gate(GateType.NOR, inputs, output)
+        return output
+
+    # -- wide-gate trees ---------------------------------------------------
+    def reduce_and(self, inputs: list[str], output: str, invert: bool) -> str:
+        """Emit AND (invert=False) or NAND (invert=True) of any width."""
+        while len(inputs) > MAX_CELL_FANIN:
+            grouped: list[str] = []
+            for start in range(0, len(inputs), MAX_CELL_FANIN):
+                chunk = inputs[start : start + MAX_CELL_FANIN]
+                if len(chunk) == 1:
+                    grouped.append(chunk[0])
+                    continue
+                nand = self.emit_nand(chunk, self.fresh(output))
+                grouped.append(self.emit_inv(nand, self.fresh(output)))
+            inputs = grouped
+        if invert:
+            return self.emit_nand(inputs, output)
+        nand = self.emit_nand(inputs, self.fresh(output))
+        return self.emit_inv(nand, output)
+
+    def reduce_or(self, inputs: list[str], output: str, invert: bool) -> str:
+        """Emit OR (invert=False) or NOR (invert=True) of any width."""
+        while len(inputs) > MAX_CELL_FANIN:
+            grouped: list[str] = []
+            for start in range(0, len(inputs), MAX_CELL_FANIN):
+                chunk = inputs[start : start + MAX_CELL_FANIN]
+                if len(chunk) == 1:
+                    grouped.append(chunk[0])
+                    continue
+                nor = self.emit_nor(chunk, self.fresh(output))
+                grouped.append(self.emit_inv(nor, self.fresh(output)))
+            inputs = grouped
+        if invert:
+            return self.emit_nor(inputs, output)
+        nor = self.emit_nor(inputs, self.fresh(output))
+        return self.emit_inv(nor, output)
+
+    def emit_xor2(self, a: str, b: str, output: str) -> str:
+        """Four-NAND2 XOR."""
+        m = self.emit_nand([a, b], self.fresh(output))
+        left = self.emit_nand([a, m], self.fresh(output))
+        right = self.emit_nand([b, m], self.fresh(output))
+        return self.emit_nand([left, right], output)
+
+    def map_gate(self, gate: Gate) -> None:
+        gt, inputs, out = gate.gate_type, list(gate.inputs), gate.output
+        if gt is GateType.NOT:
+            self.emit_inv(inputs[0], out)
+        elif gt is GateType.BUF:
+            mid = self.emit_inv(inputs[0], self.fresh(out))
+            self.emit_inv(mid, out)
+        elif gt is GateType.NAND:
+            self.reduce_and(inputs, out, invert=True)
+        elif gt is GateType.AND:
+            self.reduce_and(inputs, out, invert=False)
+        elif gt is GateType.NOR:
+            self.reduce_or(inputs, out, invert=True)
+        elif gt is GateType.OR:
+            self.reduce_or(inputs, out, invert=False)
+        elif gt in (GateType.XOR, GateType.XNOR):
+            acc = inputs[0]
+            for operand in inputs[1:-1]:
+                acc = self.emit_xor2(acc, operand, self.fresh(out))
+            if gt is GateType.XOR:
+                self.emit_xor2(acc, inputs[-1], out)
+            else:
+                xor = self.emit_xor2(acc, inputs[-1], self.fresh(out))
+                self.emit_inv(xor, out)
+        else:  # pragma: no cover - GateType is closed
+            raise ValueError(f"unmappable gate type {gt!r}")
+
+
+def techmap(circuit: Circuit) -> Circuit:
+    """Map ``circuit`` onto the INV/NAND(2-4)/NOR(2-4) physical library.
+
+    Returns a validated, functionally equivalent circuit whose every gate is
+    realisable by :mod:`repro.layout.cells`.  Original net names are kept;
+    decomposition-internal nets are suffixed ``$k``.
+    """
+    circuit.validate()
+    mapper = _Mapper(circuit)
+    mapper.mapped.primary_inputs = list(circuit.primary_inputs)
+    mapper.mapped.primary_outputs = list(circuit.primary_outputs)
+    for gate in circuit.gates:
+        mapper.map_gate(gate)
+    mapper.mapped.validate()
+    return mapper.mapped

@@ -1,0 +1,32 @@
+"""Gate-level simulation substrate: logic sim, stuck-at faults, fault sim."""
+
+from repro.simulation.fault_sim import FaultSimResult, FaultSimulator
+from repro.simulation.faults import (
+    FaultSite,
+    StuckAtFault,
+    collapse_faults,
+    full_fault_universe,
+)
+from repro.simulation.logic_sim import LogicSimulator, pack_patterns, unpack_word
+from repro.simulation.transition import (
+    TransitionFault,
+    TransitionFaultSimulator,
+    TransitionSimResult,
+    transition_universe,
+)
+
+__all__ = [
+    "FaultSimResult",
+    "FaultSimulator",
+    "FaultSite",
+    "LogicSimulator",
+    "StuckAtFault",
+    "TransitionFault",
+    "TransitionFaultSimulator",
+    "TransitionSimResult",
+    "collapse_faults",
+    "full_fault_universe",
+    "pack_patterns",
+    "transition_universe",
+    "unpack_word",
+]

@@ -1,0 +1,245 @@
+"""Parallel-pattern single stuck-at fault simulation.
+
+For every fault the simulator re-evaluates only the fault's output cone with
+the faulty value forced, 64 patterns at a time, and compares primary outputs
+against the fault-free simulation.  Detected faults are dropped from further
+simulation.  The result records each fault's *first-detection index*, which is
+exactly what the paper's ``T(k)`` coverage-growth curves are built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.circuit.levelize import levelize, output_cone
+from repro.circuit.library import ALL_ONES_64, evaluate_gate_packed
+from repro.circuit.netlist import Circuit, Gate
+from repro.simulation.faults import FaultSite, StuckAtFault, full_fault_universe
+from repro.simulation.logic_sim import LogicSimulator, pack_patterns
+
+__all__ = ["FaultSimResult", "FaultSimulator"]
+
+
+@dataclass
+class FaultSimResult:
+    """Outcome of a fault-simulation run.
+
+    Attributes
+    ----------
+    faults:
+        The simulated fault list (universe for the coverage denominator).
+    first_detection:
+        Fault -> 1-based index of the first detecting vector.  Faults absent
+        from the map were never detected by the applied sequence.
+    n_patterns:
+        Number of vectors applied.
+    """
+
+    faults: list[StuckAtFault]
+    first_detection: dict[StuckAtFault, int]
+    n_patterns: int = 0
+
+    @property
+    def detected(self) -> list[StuckAtFault]:
+        """Faults detected at least once, in universe order."""
+        return [f for f in self.faults if f in self.first_detection]
+
+    @property
+    def undetected(self) -> list[StuckAtFault]:
+        """Faults never detected."""
+        return [f for f in self.faults if f not in self.first_detection]
+
+    @property
+    def coverage(self) -> float:
+        """Final fault coverage T = detected / total."""
+        if not self.faults:
+            return 1.0
+        return len(self.first_detection) / len(self.faults)
+
+    def coverage_at(self, k: int) -> float:
+        """Fault coverage after the first ``k`` vectors."""
+        if not self.faults:
+            return 1.0
+        hits = sum(1 for idx in self.first_detection.values() if idx <= k)
+        return hits / len(self.faults)
+
+    def coverage_curve(self) -> list[tuple[int, float]]:
+        """``(k, T(k))`` points at every k where coverage changed."""
+        ks = sorted(set(self.first_detection.values()))
+        return [(k, self.coverage_at(k)) for k in ks]
+
+
+@dataclass
+class _ConeInfo:
+    gates: list[Gate] = field(default_factory=list)
+    outputs: list[str] = field(default_factory=list)
+
+
+class FaultSimulator:
+    """Cone-restricted, parallel-pattern stuck-at fault simulator."""
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        self.logic = LogicSimulator(circuit)
+        self._order = levelize(circuit)
+        self._cones: dict[str, _ConeInfo] = {}
+        po_set = set(circuit.primary_outputs)
+        for net in circuit.nets:
+            cone_nets = output_cone(circuit, net)
+            info = _ConeInfo(
+                gates=[g for g in self._order if g.output in cone_nets],
+                outputs=[po for po in circuit.primary_outputs if po in cone_nets],
+            )
+            # The faulty net may itself be observable.
+            if net in po_set and net not in info.outputs:
+                info.outputs.append(net)
+            self._cones[net] = info
+
+    # ------------------------------------------------------------------
+    def detection_word(
+        self,
+        fault: StuckAtFault,
+        good_values: dict[str, int],
+    ) -> int:
+        """Bit mask of patterns (within one packed group) that detect ``fault``.
+
+        ``good_values`` is the fault-free packed simulation of the group, as
+        produced by :meth:`LogicSimulator.simulate_packed`.
+        """
+        stuck_word = ALL_ONES_64 if fault.value else 0
+        cone = self._cones[fault.net]
+        faulty: dict[str, int] = {}
+
+        if fault.site is FaultSite.NET:
+            faulty[fault.net] = stuck_word
+        # For pin faults the net itself keeps its good value; only the
+        # specific gate sees the stuck operand (handled below).
+
+        diff = 0
+        for gate in cone.gates:
+            operands = []
+            for pin, net in enumerate(gate.inputs):
+                if (
+                    fault.site is FaultSite.GATE_INPUT
+                    and gate.name == fault.gate
+                    and pin == fault.pin
+                ):
+                    operands.append(stuck_word)
+                else:
+                    operands.append(faulty.get(net, good_values[net]))
+            value = evaluate_gate_packed(gate.gate_type, operands, ALL_ONES_64)
+            if fault.site is FaultSite.NET and gate.output == fault.net:
+                value = stuck_word
+            faulty[gate.output] = value
+
+        for po in cone.outputs:
+            diff |= faulty.get(po, good_values[po]) ^ good_values[po]
+        return diff & ALL_ONES_64
+
+    # ------------------------------------------------------------------
+    def detection_word_multi(
+        self,
+        forces: Sequence[StuckAtFault],
+        good_values: dict[str, int],
+    ) -> int:
+        """Detection mask for several simultaneous stuck forces.
+
+        Used by the switch-level simulator's fast paths (an open that floats
+        several gate-input pins behaves, under one charge assumption, like a
+        multiple stuck-at fault).  The forced cone is the union of the
+        individual cones.
+        """
+        if not forces:
+            return 0
+        net_force: dict[str, int] = {}
+        pin_force: dict[tuple[str, int], int] = {}
+        cone_nets: set[str] = set()
+        outputs: list[str] = []
+        for fault in forces:
+            stuck_word = ALL_ONES_64 if fault.value else 0
+            if fault.site is FaultSite.NET:
+                net_force[fault.net] = stuck_word
+            else:
+                pin_force[(fault.gate, fault.pin)] = stuck_word
+            info = self._cones[fault.net]
+            cone_nets.update(g.output for g in info.gates)
+            cone_nets.add(fault.net)
+            outputs.extend(po for po in info.outputs if po not in outputs)
+
+        faulty: dict[str, int] = dict(net_force)
+        for gate in self._order:
+            if gate.output not in cone_nets:
+                continue
+            operands = []
+            for pin, net in enumerate(gate.inputs):
+                forced = pin_force.get((gate.name, pin))
+                if forced is not None:
+                    operands.append(forced)
+                else:
+                    operands.append(faulty.get(net, good_values[net]))
+            value = evaluate_gate_packed(gate.gate_type, operands, ALL_ONES_64)
+            if gate.output in net_force:
+                value = net_force[gate.output]
+            faulty[gate.output] = value
+
+        diff = 0
+        for po in outputs:
+            diff |= faulty.get(po, good_values[po]) ^ good_values[po]
+        return diff & ALL_ONES_64
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        patterns: Sequence[Sequence[int]],
+        faults: list[StuckAtFault] | None = None,
+        drop_detected: bool = True,
+    ) -> FaultSimResult:
+        """Fault-simulate ``patterns`` against ``faults`` (default: universe).
+
+        With ``drop_detected`` (the default), a fault is removed from the
+        active list after its first detection; first-detection indices are
+        recorded either way.
+        """
+        if faults is None:
+            faults = full_fault_universe(self.circuit)
+        n_inputs = len(self.circuit.primary_inputs)
+        groups = pack_patterns(patterns, n_inputs)
+
+        first_detection: dict[StuckAtFault, int] = {}
+        active = list(faults)
+        for group_index, words in enumerate(groups):
+            if not active:
+                break
+            base = group_index * 64
+            n_here = min(64, len(patterns) - base)
+            group_mask = (1 << n_here) - 1
+            good = self.logic.simulate_packed(words)
+            survivors: list[StuckAtFault] = []
+            for fault in active:
+                diff = self.detection_word(fault, good) & group_mask
+                if diff:
+                    first = base + _lowest_set_bit(diff) + 1
+                    if fault not in first_detection or first < first_detection[fault]:
+                        first_detection[fault] = first
+                    if not drop_detected:
+                        survivors.append(fault)
+                else:
+                    survivors.append(fault)
+            active = survivors
+
+        return FaultSimResult(
+            faults=list(faults),
+            first_detection=first_detection,
+            n_patterns=len(patterns),
+        )
+
+    def detects(self, fault: StuckAtFault, pattern: Sequence[int]) -> bool:
+        """True when a single vector detects the fault at any primary output."""
+        words = pack_patterns([list(pattern)], len(self.circuit.primary_inputs))[0]
+        good = self.logic.simulate_packed(words)
+        return bool(self.detection_word(fault, good) & 1)
+
+
+def _lowest_set_bit(word: int) -> int:
+    return (word & -word).bit_length() - 1

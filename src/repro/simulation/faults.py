@@ -1,0 +1,181 @@
+"""Single stuck-at fault universe and structural fault collapsing.
+
+The stuck-at universe for a circuit contains a stuck-at-0 and stuck-at-1 fault
+on every *fault site*: each primary input, each gate output net, and each gate
+input pin (pin faults are distinct from the driving net's fault whenever the
+net fans out to more than one pin — the classic checkpoint refinement).
+
+Collapsing uses structural equivalence across single-input chains and the
+standard gate-local equivalences (e.g. any input s-a-0 of an AND is equivalent
+to its output s-a-0); dominance-based collapsing is intentionally not applied,
+matching common industrial practice of reporting equivalence-collapsed
+coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.circuit.library import GateType
+from repro.circuit.netlist import Circuit
+
+__all__ = ["StuckAtFault", "FaultSite", "full_fault_universe", "collapse_faults"]
+
+
+class FaultSite(str, Enum):
+    """Where a stuck-at fault attaches."""
+
+    NET = "net"          # the driven net itself (output of driver / PI)
+    GATE_INPUT = "pin"   # a specific gate input pin (branch after fanout)
+
+
+@dataclass(frozen=True)
+class StuckAtFault:
+    """One single stuck-at fault.
+
+    Attributes
+    ----------
+    net:
+        The net the fault is on (for pin faults, the net feeding the pin).
+    value:
+        The stuck value, 0 or 1.
+    site:
+        NET for stem faults, GATE_INPUT for branch (pin) faults.
+    gate:
+        For pin faults, the name of the gate whose input pin is faulty.
+    pin:
+        For pin faults, the input position on that gate.
+    """
+
+    net: str
+    value: int
+    site: FaultSite = FaultSite.NET
+    gate: str | None = None
+    pin: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.value not in (0, 1):
+            raise ValueError(f"stuck value must be 0 or 1, got {self.value}")
+        if self.site is FaultSite.GATE_INPUT and (self.gate is None or self.pin is None):
+            raise ValueError("pin faults need gate and pin")
+
+    def __str__(self) -> str:
+        if self.site is FaultSite.NET:
+            return f"{self.net}/sa{self.value}"
+        return f"{self.gate}.in{self.pin}({self.net})/sa{self.value}"
+
+
+def full_fault_universe(circuit: Circuit) -> list[StuckAtFault]:
+    """Enumerate the uncollapsed single stuck-at universe for ``circuit``.
+
+    Stem faults on every net; branch (pin) faults on every gate input whose
+    driving net fans out to more than one pin, where a stem fault would not
+    model the independent branch defect.
+    """
+    faults: list[StuckAtFault] = []
+    for net in circuit.nets:
+        faults.append(StuckAtFault(net, 0))
+        faults.append(StuckAtFault(net, 1))
+
+    fanout_count: dict[str, int] = {}
+    for gate in circuit.gates:
+        for net in gate.inputs:
+            fanout_count[net] = fanout_count.get(net, 0) + 1
+    for po in circuit.primary_outputs:
+        fanout_count[po] = fanout_count.get(po, 0) + 1
+
+    for gate in circuit.gates:
+        for pin, net in enumerate(gate.inputs):
+            if fanout_count.get(net, 0) > 1:
+                faults.append(
+                    StuckAtFault(net, 0, FaultSite.GATE_INPUT, gate.name, pin)
+                )
+                faults.append(
+                    StuckAtFault(net, 1, FaultSite.GATE_INPUT, gate.name, pin)
+                )
+    return faults
+
+
+# Gate-local equivalence: which input stuck value collapses into which output
+# stuck value.  For AND: in/sa0 == out/sa0; for OR: in/sa1 == out/sa1, etc.
+_COLLAPSE_INPUT_VALUE = {
+    GateType.AND: {0: 0},
+    GateType.NAND: {0: 1},
+    GateType.OR: {1: 1},
+    GateType.NOR: {1: 0},
+    GateType.NOT: {0: 1, 1: 0},
+    GateType.BUF: {0: 0, 1: 1},
+}
+
+
+def collapse_faults(
+    circuit: Circuit, faults: list[StuckAtFault] | None = None
+) -> list[StuckAtFault]:
+    """Equivalence-collapse a fault list; return representative faults.
+
+    Two faults are merged when they are provably equivalent by gate-local
+    structure: controlling-value input faults fold into the output fault, and
+    inverter/buffer chains propagate equivalence transitively.  For nets with
+    a single fanout pin, the pin fault is equivalent to the stem fault.
+
+    The returned representatives are chosen as the most downstream member of
+    each class (closest to the outputs), which keeps detection semantics
+    identical.
+    """
+    if faults is None:
+        faults = full_fault_universe(circuit)
+
+    fanout_count: dict[str, int] = {}
+    for gate in circuit.gates:
+        for net in gate.inputs:
+            fanout_count[net] = fanout_count.get(net, 0) + 1
+    for po in circuit.primary_outputs:
+        fanout_count[po] = fanout_count.get(po, 0) + 1
+
+    parent: dict[StuckAtFault, StuckAtFault] = {}
+
+    def find(f: StuckAtFault) -> StuckAtFault:
+        root = f
+        while root in parent:
+            root = parent[root]
+        while f in parent and parent[f] is not root:
+            f, parent[f] = parent[f], root
+        return root
+
+    def union(child: StuckAtFault, rep: StuckAtFault) -> None:
+        child_root, rep_root = find(child), find(rep)
+        if child_root != rep_root:
+            parent[child_root] = rep_root
+
+    po_set = set(circuit.primary_outputs)
+    for gate in circuit.gates:
+        mapping = _COLLAPSE_INPUT_VALUE.get(gate.gate_type, {})
+        for in_value, out_value in mapping.items():
+            out_fault = StuckAtFault(gate.output, out_value)
+            for pin, net in enumerate(gate.inputs):
+                if fanout_count.get(net, 0) > 1:
+                    src = StuckAtFault(
+                        net, in_value, FaultSite.GATE_INPUT, gate.name, pin
+                    )
+                else:
+                    src = StuckAtFault(net, in_value)
+                    # A net observed at a PO must keep its own stem fault: the
+                    # fault is visible at the output even if the gate masks it.
+                    if net in po_set:
+                        continue
+                union(src, out_fault)
+
+    universe = set(faults)
+    representatives: dict[StuckAtFault, StuckAtFault] = {}
+    collapsed: list[StuckAtFault] = []
+    for fault in faults:
+        root = find(fault)
+        # The root might not be in the provided subset; keep the first member
+        # seen as representative in that case.
+        rep = representatives.get(root)
+        if rep is None:
+            rep = root if root in universe else fault
+            representatives[root] = rep
+            collapsed.append(rep)
+    return collapsed

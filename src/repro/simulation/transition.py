@@ -1,0 +1,146 @@
+"""Transition (gate-delay) fault model and simulator.
+
+The paper points to delay-fault testing [Park/Mercer/Williams 1989] as one of
+the "more elaborated" techniques needed for zero-defect strategies: many
+defects that escape steady-state voltage testing (notably stuck-open
+transistors, which behave sequentially) *are* caught by two-pattern delay
+tests.  This module provides the classic transition-fault abstraction:
+
+* a **slow-to-rise** fault on net ``n`` is detected by a vector pair
+  ``(t_{k-1}, t_k)`` that launches a rising transition on ``n`` (value 0 then
+  1) and propagates ``n`` stuck-at-0 behaviour to an output on ``t_k``;
+* **slow-to-fall** is the dual.
+
+Detection reuses the packed stuck-at machinery, so simulating the whole
+transition universe over the paper's vector sequence costs about as much as
+one extra stuck-at fault-simulation pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.circuit.netlist import Circuit
+from repro.simulation.fault_sim import FaultSimulator
+from repro.simulation.faults import StuckAtFault
+from repro.simulation.logic_sim import pack_patterns
+
+__all__ = ["TransitionFault", "TransitionSimResult", "TransitionFaultSimulator",
+           "transition_universe"]
+
+
+@dataclass(frozen=True)
+class TransitionFault:
+    """A gross gate-delay fault on one net."""
+
+    net: str
+    slow_to: int  # 1 = slow-to-rise, 0 = slow-to-fall
+
+    def __post_init__(self) -> None:
+        if self.slow_to not in (0, 1):
+            raise ValueError("slow_to must be 0 or 1")
+
+    def __str__(self) -> str:
+        kind = "STR" if self.slow_to else "STF"
+        return f"{self.net}/{kind}"
+
+
+def transition_universe(circuit: Circuit) -> list[TransitionFault]:
+    """Slow-to-rise and slow-to-fall on every net."""
+    faults = []
+    for net in circuit.nets:
+        faults.append(TransitionFault(net, 1))
+        faults.append(TransitionFault(net, 0))
+    return faults
+
+
+@dataclass
+class TransitionSimResult:
+    """First-detection indices for transition faults.
+
+    Indices are 1-based capture-vector positions; the first vector of a
+    sequence can never detect (no launch vector precedes it).
+    """
+
+    faults: list[TransitionFault]
+    first_detection: dict[TransitionFault, int] = field(default_factory=dict)
+    n_patterns: int = 0
+
+    @property
+    def coverage(self) -> float:
+        """Final transition-fault coverage."""
+        if not self.faults:
+            return 1.0
+        return len(self.first_detection) / len(self.faults)
+
+    def coverage_at(self, k: int) -> float:
+        """Coverage after the first ``k`` vectors."""
+        if not self.faults:
+            return 1.0
+        hits = sum(1 for v in self.first_detection.values() if v <= k)
+        return hits / len(self.faults)
+
+
+class TransitionFaultSimulator:
+    """Two-pattern (launch/capture) transition-fault simulation."""
+
+    def __init__(self, circuit: Circuit):
+        circuit.validate()
+        self.circuit = circuit
+        self.stuck = FaultSimulator(circuit)
+
+    def run(
+        self,
+        patterns: Sequence[Sequence[int]],
+        faults: list[TransitionFault] | None = None,
+    ) -> TransitionSimResult:
+        """Simulate consecutive vector pairs against the transition faults."""
+        if faults is None:
+            faults = transition_universe(self.circuit)
+        n_inputs = len(self.circuit.primary_inputs)
+        groups = pack_patterns(patterns, n_inputs)
+        goods = [self.stuck.logic.simulate_packed(words) for words in groups]
+
+        result = TransitionSimResult(
+            faults=list(faults), n_patterns=len(patterns)
+        )
+        active = list(faults)
+        previous_bit: dict[str, int] = {}
+        for g, good in enumerate(goods):
+            if not active:
+                break
+            base = g * 64
+            n_here = min(64, len(patterns) - base)
+            group_mask = (1 << n_here) - 1
+            survivors = []
+            for fault in active:
+                values = good[fault.net]
+                # Launch mask: previous vector at the complement, current at
+                # the slow-to value.
+                prev = (values << 1) & group_mask
+                if base > 0:
+                    prev |= previous_bit.get(fault.net, 0)
+                if fault.slow_to == 1:
+                    launch = (~prev) & values  # 0 -> 1
+                else:
+                    launch = prev & (~values)  # 1 -> 0
+                launch &= group_mask
+                if g == 0:
+                    launch &= ~1  # the very first vector has no launch
+                detected = 0
+                if launch:
+                    # Slow transition means the old (complement) value
+                    # persists at capture time: stuck-at complement.
+                    stuck = StuckAtFault(fault.net, 1 - fault.slow_to)
+                    detected = self.stuck.detection_word(stuck, good) & launch
+                if detected:
+                    first = base + ((detected & -detected).bit_length() - 1) + 1
+                    result.first_detection[fault] = first
+                else:
+                    survivors.append(fault)
+            for net in {f.net for f in survivors}:
+                values = good[net]
+                previous_bit[net] = (values >> (n_here - 1)) & 1
+            active = survivors
+        return result

@@ -1,0 +1,284 @@
+"""Cell drive-strength models for switch-level evaluation.
+
+The physical library contains three CMOS families (INV, NAND-n, NOR-n), so
+pull-up/pull-down conductances have closed forms: a series chain of ``n``
+devices of conductance ``g`` gives ``g/n``; ``k`` parallel devices give
+``k*g``.  Device conductances come from the cell generator's W/L and mobility
+ratio (NMOS 3.0, PMOS 1.5 conductance units).
+
+Contention (a bridge, a stuck-on device) is resolved by the resistive-divider
+voltage ``v = sum(G_i * V_i) / sum(G_i)`` with CMOS-style thresholds: above
+``V_HIGH`` reads 1, below ``V_LOW`` reads 0, in between is X (an intermediate
+voltage a steady-state voltage test cannot rely on — but an IDDQ test flags).
+
+For faults that tap a cell-*internal* node (diffusion bridges to another net,
+oxide shorts into a chain), :func:`solve_with_tap` solves the small resistive
+network exactly via its Laplacian.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.circuit.library import GateType
+
+__all__ = [
+    "N_STRENGTH",
+    "P_STRENGTH",
+    "PI_STRENGTH",
+    "SUPPLY_STRENGTH",
+    "V_LOW",
+    "V_HIGH",
+    "X",
+    "cell_conductances",
+    "resolve_contention",
+    "divider_value",
+    "solve_with_tap",
+]
+
+#: Device conductances (W/L * mobility).  NMOS mobility is ~2.5x PMOS at
+#: equal geometry, which is why bridged nodes usually resolve low — the
+#: classic "0 dominates" behaviour of CMOS bridging faults.
+N_STRENGTH = 4.0
+P_STRENGTH = 1.5
+#: Strength of an external tester driver on a primary input.
+PI_STRENGTH = 10.0
+#: Effectively infinite strength of the supply rails.
+SUPPLY_STRENGTH = 1e6
+
+#: Logic thresholds on the resolved node voltage (VDD = 1).  The band in
+#: between is an intermediate level a voltage test cannot rely on.  The band
+#: is narrow: real bridges resolve decisively at the downstream gate
+#: threshold unless the fight is almost perfectly balanced (e.g. two
+#: tester-driven primary inputs bridged together).  The ablation bench
+#: ``benchmarks/test_ablation_thresholds.py`` sweeps this band.
+V_LOW = 0.49
+V_HIGH = 0.51
+
+#: Ternary "unknown" marker shared with the gate-level 3-valued code.
+X = 2
+
+# Device modification states used by fault injection.
+ON, OFF, ABSENT = "on", "off", "absent"
+
+
+def _n_conducting(value: int, mod: str | None) -> bool | None:
+    """NMOS conduction for a gate value (None = unknown)."""
+    if mod == ON:
+        return True
+    if mod in (OFF, ABSENT):
+        return False
+    if value == X:
+        return None
+    return value == 1
+
+
+def _p_conducting(value: int, mod: str | None) -> bool | None:
+    if mod == ON:
+        return True
+    if mod in (OFF, ABSENT):
+        return False
+    if value == X:
+        return None
+    return value == 0
+
+
+def cell_conductances(
+    gate_type: GateType,
+    inputs: tuple[int, ...],
+    n_mods: dict[int, str] | None = None,
+    p_mods: dict[int, str] | None = None,
+) -> tuple[float, float]:
+    """(G_pullup, G_pulldown) of a cell for definite input values.
+
+    ``n_mods``/``p_mods`` force individual devices: ``"on"`` (conducts
+    regardless of gate), ``"off"``/``"absent"`` (never conducts).  Inputs
+    containing X must be enumerated by the caller.
+    """
+    n_mods = n_mods or {}
+    p_mods = p_mods or {}
+    n = len(inputs)
+    n_states = [_n_conducting(v, n_mods.get(i)) for i, v in enumerate(inputs)]
+    p_states = [_p_conducting(v, p_mods.get(i)) for i, v in enumerate(inputs)]
+    if any(s is None for s in n_states + p_states):
+        raise ValueError("X inputs must be enumerated before computing strengths")
+
+    if gate_type is GateType.NOT:
+        g_up = P_STRENGTH if p_states[0] else 0.0
+        g_down = N_STRENGTH if n_states[0] else 0.0
+    elif gate_type is GateType.NAND:
+        g_down = N_STRENGTH / n if all(n_states) else 0.0
+        g_up = P_STRENGTH * sum(p_states)
+    elif gate_type is GateType.NOR:
+        g_up = P_STRENGTH / n if all(p_states) else 0.0
+        g_down = N_STRENGTH * sum(n_states)
+    else:
+        raise ValueError(f"no physical cell family for {gate_type!r}")
+    return g_up, g_down
+
+
+def divider_value(pairs: list[tuple[float, float]]) -> int:
+    """Resolve a node driven by several (conductance, rail_value) pairs.
+
+    Returns 0, 1, or X by the resistive-divider voltage and the CMOS
+    thresholds.  An exactly balanced fight (v = 1/2, e.g. two equal tester
+    drivers bridged) resolves to 0 — the classic wired-AND semantics of CMOS
+    bridging faults, where the falling side wins at the downstream gate
+    threshold.  A node with no drive at all is X (the caller decides whether
+    Z/memory semantics apply instead).
+    """
+    total = sum(g for g, _ in pairs)
+    if total <= 0:
+        return X
+    v = sum(g * val for g, val in pairs) / total
+    if v == 0.5:
+        return 0
+    if v >= V_HIGH:
+        return 1
+    if v <= V_LOW:
+        return 0
+    return X
+
+
+def resolve_contention(g_up: float, g_down: float) -> int:
+    """Node value when pulled both ways (or one way, or neither = X)."""
+    return divider_value([(g_up, 1.0), (g_down, 0.0)])
+
+
+@lru_cache(maxsize=65536)
+def _tap_cached(
+    gate_type: GateType,
+    inputs: tuple[int, ...],
+    tap_index: int,
+    tap_value: float,
+    tap_strength: float,
+    n_mods: tuple[tuple[int, str], ...],
+    p_mods: tuple[tuple[int, str], ...],
+) -> tuple[int, int]:
+    return _solve_with_tap_impl(
+        gate_type, inputs, tap_index, tap_value, tap_strength,
+        dict(n_mods), dict(p_mods),
+    )
+
+
+def solve_with_tap(
+    gate_type: GateType,
+    inputs: tuple[int, ...],
+    tap_index: int,
+    tap_value: float,
+    tap_strength: float,
+    n_mods: dict[int, str] | None = None,
+    p_mods: dict[int, str] | None = None,
+) -> tuple[int, int]:
+    """Solve a cell with an external tie at one node.
+
+    ``tap_index`` selects the node: 0 = output, ``i >= 1`` = the i-th
+    internal chain node (NAND: NMOS chain node between devices i-1 and i;
+    NOR: PMOS chain node).  The tap ties that node toward ``tap_value``
+    (0.0/1.0) with conductance ``tap_strength``.
+
+    Returns ``(output_value, tap_node_value)`` as ternary logic levels.
+    Results are memoised — the fault simulator calls this per vector with a
+    small set of distinct arguments.
+    """
+    return _tap_cached(
+        gate_type,
+        tuple(inputs),
+        tap_index,
+        float(tap_value),
+        float(tap_strength),
+        tuple(sorted((n_mods or {}).items())),
+        tuple(sorted((p_mods or {}).items())),
+    )
+
+
+def _solve_with_tap_impl(
+    gate_type: GateType,
+    inputs: tuple[int, ...],
+    tap_index: int,
+    tap_value: float,
+    tap_strength: float,
+    n_mods: dict[int, str],
+    p_mods: dict[int, str],
+) -> tuple[int, int]:
+    n = len(inputs)
+    n_states = [_n_conducting(v, n_mods.get(i)) for i, v in enumerate(inputs)]
+    p_states = [_p_conducting(v, p_mods.get(i)) for i, v in enumerate(inputs)]
+    if any(s is None for s in n_states + p_states):
+        raise ValueError("X inputs must be enumerated before solving")
+
+    # Unknown nodes: 0 = OUT, 1..n-1 = chain internals (series side).
+    n_nodes = max(1, n)  # OUT plus n-1 chain nodes
+    # edges: (node_a, node_b, g) where -1 = GND rail, -2 = VDD rail.
+    GND_N, VDD_N = -1, -2
+    edges: list[tuple[int, int, float]] = []
+
+    def chain_node(i: int, rail: int) -> int:
+        """Node index for chain position i (0 = rail end, n = OUT)."""
+        if i == 0:
+            return rail
+        if i == n:
+            return 0
+        return i  # internal node i
+
+    if gate_type is GateType.NOT:
+        if n_states[0]:
+            edges.append((0, GND_N, N_STRENGTH))
+        if p_states[0]:
+            edges.append((0, VDD_N, P_STRENGTH))
+    elif gate_type is GateType.NAND:
+        for i in range(n):  # NMOS series chain from GND to OUT
+            if n_states[i]:
+                edges.append((chain_node(i, GND_N), chain_node(i + 1, GND_N), N_STRENGTH))
+        for i in range(n):  # PMOS parallel to VDD
+            if p_states[i]:
+                edges.append((0, VDD_N, P_STRENGTH))
+    else:  # NOR
+        for i in range(n):  # PMOS series chain from VDD to OUT
+            if p_states[i]:
+                edges.append((chain_node(i, VDD_N), chain_node(i + 1, VDD_N), P_STRENGTH))
+        for i in range(n):  # NMOS parallel to GND
+            if n_states[i]:
+                edges.append((0, GND_N, N_STRENGTH))
+
+    # External tap as an edge to a virtual rail at tap_value.
+    tap_node = 0 if tap_index == 0 else tap_index
+    TAP_N = -3
+    edges.append((tap_node, TAP_N, tap_strength))
+    rail_voltage = {GND_N: 0.0, VDD_N: 1.0, TAP_N: tap_value}
+
+    laplacian = np.zeros((n_nodes, n_nodes))
+    rhs = np.zeros(n_nodes)
+    for a, b, g in edges:
+        for u, v in ((a, b), (b, a)):
+            if u < 0:
+                continue
+            laplacian[u, u] += g
+            if v >= 0:
+                laplacian[u, v] -= g
+            else:
+                rhs[u] += g * rail_voltage[v]
+
+    voltages = np.full(n_nodes, np.nan)
+    active = [i for i in range(n_nodes) if laplacian[i, i] > 0]
+    if active:
+        sub = laplacian[np.ix_(active, active)]
+        try:
+            sol = np.linalg.solve(sub, rhs[active])
+        except np.linalg.LinAlgError:
+            sol = np.linalg.lstsq(sub, rhs[active], rcond=None)[0]
+        for idx, node in enumerate(active):
+            voltages[node] = sol[idx]
+
+    def to_level(v: float) -> int:
+        if np.isnan(v):
+            return X
+        if v >= V_HIGH:
+            return 1
+        if v <= V_LOW:
+            return 0
+        return X
+
+    return to_level(voltages[0]), to_level(voltages[tap_node])

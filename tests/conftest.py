@@ -1,0 +1,38 @@
+"""Shared fixtures: small circuits and their (expensive) layouts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import c17, c432_like, parity_tree, ripple_carry_adder
+from repro.layout import build_layout
+
+
+@pytest.fixture(scope="session")
+def c17_circuit():
+    return c17()
+
+
+@pytest.fixture(scope="session")
+def rca4_circuit():
+    return ripple_carry_adder(4)
+
+
+@pytest.fixture(scope="session")
+def par8_circuit():
+    return parity_tree(8)
+
+
+@pytest.fixture(scope="session")
+def c432_circuit():
+    return c432_like()
+
+
+@pytest.fixture(scope="session")
+def c17_design(c17_circuit):
+    return build_layout(c17_circuit)
+
+
+@pytest.fixture(scope="session")
+def rca4_design(rca4_circuit):
+    return build_layout(rca4_circuit)

@@ -1,0 +1,70 @@
+"""Unit tests for pattern containers and the LFSR PRPG."""
+
+import pytest
+
+from repro.atpg import Lfsr, TestSet, random_patterns
+
+
+def test_test_set_append_and_counts():
+    ts = TestSet(n_inputs=3)
+    ts.append([0, 1, 0], "random")
+    ts.extend([[1, 1, 1], [0, 0, 0]], "deterministic")
+    assert len(ts) == 3
+    assert ts.n_random == 1
+    assert ts.n_deterministic == 2
+    assert ts[1] == [1, 1, 1]
+    assert list(ts) == ts.patterns
+
+
+def test_test_set_width_check():
+    ts = TestSet(n_inputs=2)
+    with pytest.raises(ValueError):
+        ts.append([1, 0, 1])
+
+
+def test_lfsr_maximal_length():
+    lfsr = Lfsr(4, seed=1)
+    states = set()
+    for _ in range(15):
+        states.add(lfsr.step())
+    assert len(states) == 15  # 2^4 - 1 distinct nonzero states
+    assert 0 not in states
+
+
+@pytest.mark.parametrize("width", [3, 5, 8, 16])
+def test_lfsr_period(width):
+    lfsr = Lfsr(width, seed=1)
+    first = lfsr.step()
+    period = 1
+    while lfsr.step() != first:
+        period += 1
+        assert period <= 2**width
+    assert period == 2**width - 1
+
+
+def test_lfsr_pattern_width():
+    lfsr = Lfsr(7, seed=3)
+    pattern = lfsr.pattern()
+    assert len(pattern) == 7
+    assert all(v in (0, 1) for v in pattern)
+    assert len(lfsr.patterns(10)) == 10
+
+
+def test_lfsr_unsupported_width_falls_back():
+    lfsr = Lfsr(37, seed=42)
+    pats = lfsr.patterns(5)
+    assert all(len(p) == 37 for p in pats)
+
+
+def test_lfsr_rejects_bad_width():
+    with pytest.raises(ValueError):
+        Lfsr(0)
+
+
+def test_random_patterns_reproducible():
+    a = random_patterns(8, 20, seed=7)
+    b = random_patterns(8, 20, seed=7)
+    c = random_patterns(8, 20, seed=8)
+    assert a == b
+    assert a != c
+    assert all(len(p) == 8 for p in a)

@@ -1,0 +1,90 @@
+"""Unit tests for the .bench reader/writer."""
+
+import pytest
+
+from repro.circuit import (
+    CircuitError,
+    GateType,
+    c17,
+    parse_bench,
+    write_bench,
+)
+from repro.circuit.iscas import C17_BENCH
+
+
+def test_parse_c17():
+    ckt = parse_bench(C17_BENCH, name="c17")
+    assert len(ckt.primary_inputs) == 5
+    assert len(ckt.primary_outputs) == 2
+    assert ckt.gate_count == 6
+    assert all(g.gate_type is GateType.NAND for g in ckt.gates)
+
+
+def test_roundtrip():
+    original = c17()
+    text = write_bench(original)
+    again = parse_bench(text, name=original.name)
+    assert again.primary_inputs == original.primary_inputs
+    assert again.primary_outputs == original.primary_outputs
+    assert [(g.gate_type, g.inputs, g.output) for g in again.gates] == [
+        (g.gate_type, g.inputs, g.output) for g in original.gates
+    ]
+
+
+def test_comments_and_blank_lines():
+    text = """
+    # a comment
+    INPUT(x)   # trailing comment
+
+    OUTPUT(y)
+    y = NOT(x)
+    """
+    ckt = parse_bench(text)
+    assert ckt.gate_count == 1
+
+
+def test_case_insensitive_keywords():
+    text = "input(a)\ninput(b)\noutput(z)\nz = nand(a, b)\n"
+    ckt = parse_bench(text)
+    assert ckt.gates[0].gate_type is GateType.NAND
+
+
+def test_buff_alias():
+    text = "INPUT(a)\nOUTPUT(z)\nz = BUFF(a)\n"
+    assert parse_bench(text).gates[0].gate_type is GateType.BUF
+
+
+def test_dff_rejected():
+    text = "INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n"
+    with pytest.raises(CircuitError, match="unsupported gate type"):
+        parse_bench(text)
+
+
+def test_garbage_line_rejected():
+    with pytest.raises(CircuitError, match="cannot parse"):
+        parse_bench("INPUT(a)\nwhat is this\n")
+
+
+def test_empty_arguments_rejected():
+    with pytest.raises(CircuitError, match="no inputs"):
+        parse_bench("INPUT(a)\nOUTPUT(z)\nz = AND()\n")
+
+
+def test_structural_error_propagates():
+    # Output net never driven.
+    with pytest.raises(CircuitError):
+        parse_bench("INPUT(a)\nOUTPUT(z)\n")
+
+
+def test_roundtrip_large_benchmarks():
+    """write_bench/parse_bench round-trips every registered benchmark."""
+    from repro.circuit import BENCHMARKS, load_benchmark
+
+    for name in ("c432", "alu4", "rca8"):
+        original = load_benchmark(name)
+        again = parse_bench(write_bench(original), name=original.name)
+        assert again.primary_inputs == original.primary_inputs
+        assert again.primary_outputs == original.primary_outputs
+        assert [(g.gate_type, g.inputs, g.output) for g in again.gates] == [
+            (g.gate_type, g.inputs, g.output) for g in original.gates
+        ]

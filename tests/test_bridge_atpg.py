@@ -1,0 +1,127 @@
+"""Unit tests for miter-based bridging-fault ATPG."""
+
+import itertools
+
+import pytest
+
+from repro.atpg.bridge_atpg import (
+    build_bridge_miter,
+    generate_bridge_tests,
+)
+from repro.circuit import Circuit, GateType, c17
+from repro.simulation import LogicSimulator
+
+
+def _bridged_reference(circuit, vec, net_a, net_b, dominance):
+    """Reference faulty simulation with the bridge applied functionally."""
+    from repro.circuit.levelize import levelize
+    from repro.circuit.library import evaluate_gate
+
+    values = dict(zip(circuit.primary_inputs, vec))
+    order = levelize(circuit)
+
+    def resolved(va, vb):
+        if dominance == "wired-and":
+            return va & vb, va & vb
+        if dominance == "wired-or":
+            return va | vb, va | vb
+        if dominance == "a-dominates":
+            return va, va
+        return vb, vb
+
+    # Iterate to a fixpoint (the bridge can feed back through the netlist;
+    # two passes suffice for the acyclic test circuits used here).
+    for _ in range(3):
+        for gate in order:
+            operands = []
+            for net in gate.inputs:
+                if net in (net_a, net_b) and net_a in values and net_b in values:
+                    va, vb = values[net_a], values[net_b]
+                    ra, rb = resolved(va, vb)
+                    operands.append(ra if net == net_a else rb)
+                else:
+                    operands.append(values[net])
+            values[gate.output] = evaluate_gate(gate.gate_type, operands)
+    out = []
+    for po in circuit.primary_outputs:
+        if po in (net_a, net_b):
+            va, vb = values[net_a], values[net_b]
+            ra, rb = resolved(va, vb)
+            out.append(ra if po == net_a else rb)
+        else:
+            out.append(values[po])
+    return out
+
+
+@pytest.mark.parametrize(
+    "dominance", ["wired-and", "wired-or", "a-dominates", "b-dominates"]
+)
+def test_miter_diff_matches_reference(dominance):
+    circuit = c17()
+    net_a, net_b = "G10", "G19"
+    miter = build_bridge_miter(circuit, net_a, net_b, dominance)
+    good = LogicSimulator(circuit)
+    msim = LogicSimulator(miter)
+    for vec in itertools.product([0, 1], repeat=5):
+        vec = list(vec)
+        reference_good = good.outputs(vec)
+        reference_bad = _bridged_reference(circuit, vec, net_a, net_b, dominance)
+        expected_diff = int(reference_good != reference_bad)
+        assert msim.outputs(vec) == [expected_diff], (vec, dominance)
+
+
+def test_generate_finds_vectors_on_c17():
+    circuit = c17()
+    bridges = [("G10", "G19"), ("G11", "G16"), ("G1", "G23")]
+    result = generate_bridge_tests(circuit, bridges)
+    assert result.tested, "expected at least one testable bridge"
+    # G16 lies in G11's fan-out cone: a feedback bridge, refused not solved.
+    assert ("G11", "G16") in result.feedback
+    # Each returned vector really sets the corresponding miter's DIFF.
+    for (net_a, net_b), vec in zip(result.tested, result.vectors):
+        miter = build_bridge_miter(circuit, net_a, net_b)
+        assert LogicSimulator(miter).outputs(vec) == [1]
+
+
+def test_untestable_bridge_proved():
+    # Two reconvergent buffers of the same signal: bridging their outputs
+    # can never produce a difference (the nets are always equal).
+    ckt = Circuit(name="triv")
+    ckt.add_input("a")
+    ckt.add_gate(GateType.BUF, ["a"], "x")
+    ckt.add_gate(GateType.BUF, ["a"], "y")
+    ckt.add_gate(GateType.AND, ["x", "y"], "z")
+    ckt.add_output("z")
+    result = generate_bridge_tests(ckt, [("x", "y")])
+    assert result.untestable == [("x", "y")]
+
+
+def test_feedback_bridge_classified():
+    ckt = Circuit(name="fb")
+    ckt.add_input("a")
+    ckt.add_gate(GateType.BUF, ["a"], "z")
+    ckt.add_output("z")
+    result = generate_bridge_tests(ckt, [("a", "z")])
+    assert result.feedback == [("a", "z")]
+
+
+def test_wired_and_equal_nets_rejected():
+    circuit = c17()
+    with pytest.raises(ValueError):
+        build_bridge_miter(circuit, "G10", "G10")
+    with pytest.raises(ValueError):
+        build_bridge_miter(circuit, "G10", "NOPE")
+    with pytest.raises(ValueError):
+        build_bridge_miter(circuit, "G10", "G11", dominance="psychic")
+
+
+def test_pi_pi_bridge_testable_wired_and():
+    """A PI-PI bridge is testable under wired-AND (the high side flips)."""
+    circuit = c17()
+    result = generate_bridge_tests(circuit, [("G1", "G3")])
+    assert result.tested == [("G1", "G3")]
+    vec = result.vectors[0]
+    # The detecting vector must set the two inputs to opposite values.
+    i1 = circuit.primary_inputs.index("G1")
+    i3 = circuit.primary_inputs.index("G3")
+    assert vec[i1] != vec[i3]

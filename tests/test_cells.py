@@ -1,0 +1,120 @@
+"""Unit tests for the standard-cell generator."""
+
+import pytest
+
+from repro.circuit.netlist import Gate
+from repro.circuit.library import GateType
+from repro.layout import Layer, build_cell
+from repro.layout.cells import CELL_HEIGHT, GND, VDD
+
+
+def _gate(gt: GateType, inputs: list[str], out: str = "z") -> Gate:
+    return Gate(out, gt, tuple(inputs), out)
+
+
+@pytest.mark.parametrize(
+    "gt,n_inputs,expected_devices",
+    [
+        (GateType.NOT, 1, 2),
+        (GateType.NAND, 2, 4),
+        (GateType.NAND, 3, 6),
+        (GateType.NAND, 4, 8),
+        (GateType.NOR, 2, 4),
+        (GateType.NOR, 4, 8),
+    ],
+)
+def test_device_counts(gt, n_inputs, expected_devices):
+    cell = build_cell(_gate(gt, [f"i{k}" for k in range(n_inputs)]))
+    assert len(cell.transistors) == expected_devices
+    n_devs = [t for t in cell.transistors if t.polarity == "n"]
+    p_devs = [t for t in cell.transistors if t.polarity == "p"]
+    assert len(n_devs) == len(p_devs) == n_inputs
+
+
+def test_inv_topology():
+    cell = build_cell(_gate(GateType.NOT, ["a"]))
+    n, p = cell.transistors[0], cell.transistors[1]
+    assert {n.source, n.drain} == {GND, "z"}
+    assert {p.source, p.drain} == {VDD, "z"}
+    assert n.gate == p.gate == "a"
+
+
+def test_nand_series_parallel():
+    cell = build_cell(_gate(GateType.NAND, ["a", "b", "c"]))
+    n_devs = [t for t in cell.transistors if t.polarity == "n"]
+    p_devs = [t for t in cell.transistors if t.polarity == "p"]
+    # PMOS all in parallel between VDD and the output.
+    for t in p_devs:
+        assert {t.source, t.drain} == {VDD, "z"}
+    # NMOS form a chain GND -> out through internal nets.
+    nets = [n_devs[0].source] + [t.drain for t in n_devs]
+    assert nets[0] == GND
+    assert nets[-1] == "z"
+    assert all("#" in net for net in nets[1:-1])
+
+
+def test_nor_series_parallel():
+    cell = build_cell(_gate(GateType.NOR, ["a", "b"]))
+    n_devs = [t for t in cell.transistors if t.polarity == "n"]
+    p_devs = [t for t in cell.transistors if t.polarity == "p"]
+    for t in n_devs:
+        assert {t.source, t.drain} == {GND, "z"}
+    chain = [p_devs[0].source] + [t.drain for t in p_devs]
+    assert chain[0] == VDD
+    assert chain[-1] == "z"
+
+
+def test_pins_present():
+    cell = build_cell(_gate(GateType.NAND, ["a", "b"]))
+    assert set(cell.pins) == {"a", "b", "z"}
+    # Input pads are metal1, the output pad metal2.
+    assert cell.pins["a"].layer is Layer.METAL1
+    assert cell.pins["z"].layer is Layer.METAL2
+    # Pads hang below the cell (in the channel).
+    for pad in cell.pins.values():
+        assert pad.ury <= 0
+
+
+def test_cell_dimensions():
+    inv = build_cell(_gate(GateType.NOT, ["a"]))
+    nand4 = build_cell(_gate(GateType.NAND, ["a", "b", "c", "d"]))
+    assert inv.height == CELL_HEIGHT
+    assert nand4.width > inv.width
+
+
+def test_shapes_carry_nets():
+    cell = build_cell(_gate(GateType.NOR, ["a", "b"]))
+    nets = {s.net for s in cell.shapes}
+    assert {"a", "b", "z", VDD, GND} <= nets
+
+
+def test_unmapped_gate_rejected():
+    with pytest.raises(ValueError, match="techmap"):
+        build_cell(_gate(GateType.XOR, ["a", "b"]))
+    with pytest.raises(ValueError, match="not in the cell library"):
+        build_cell(_gate(GateType.NAND, [f"i{k}" for k in range(5)]))
+    with pytest.raises(ValueError, match="exactly one"):
+        build_cell(Gate("z", GateType.NOT, ("a", "b"), "z"))
+
+
+def test_gate_strength_asymmetry():
+    cell = build_cell(_gate(GateType.NOT, ["a"]))
+    n = next(t for t in cell.transistors if t.polarity == "n")
+    p = next(t for t in cell.transistors if t.polarity == "p")
+    assert n.strength > p.strength  # NMOS mobility advantage
+
+
+def test_no_overlapping_different_nets_within_cell():
+    """No two same-layer shapes of different nets may overlap in a cell."""
+    for gt, inputs in [
+        (GateType.NOT, ["a"]),
+        (GateType.NAND, ["a", "b"]),
+        (GateType.NAND, ["a", "b", "c", "d"]),
+        (GateType.NOR, ["a", "b", "c"]),
+    ]:
+        cell = build_cell(_gate(gt, inputs))
+        conductors = [s for s in cell.shapes if s.layer.is_conductor]
+        for i, s1 in enumerate(conductors):
+            for s2 in conductors[i + 1 :]:
+                if s1.layer == s2.layer and s1.net != s2.net:
+                    assert s1.overlap_area(s2) == 0.0, (gt, s1, s2)

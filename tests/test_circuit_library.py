@@ -1,0 +1,86 @@
+"""Unit tests for the gate library (scalar and packed evaluation)."""
+
+import itertools
+
+import pytest
+
+from repro.circuit.library import (
+    ALL_ONES_64,
+    GateType,
+    evaluate_gate,
+    evaluate_gate_packed,
+)
+
+_REFERENCE = {
+    GateType.AND: lambda vals: int(all(vals)),
+    GateType.NAND: lambda vals: int(not all(vals)),
+    GateType.OR: lambda vals: int(any(vals)),
+    GateType.NOR: lambda vals: int(not any(vals)),
+    GateType.XOR: lambda vals: sum(vals) % 2,
+    GateType.XNOR: lambda vals: 1 - sum(vals) % 2,
+}
+
+
+@pytest.mark.parametrize("gate_type", list(_REFERENCE))
+@pytest.mark.parametrize("n_inputs", [2, 3, 4])
+def test_scalar_truth_tables(gate_type, n_inputs):
+    for values in itertools.product([0, 1], repeat=n_inputs):
+        assert evaluate_gate(gate_type, values) == _REFERENCE[gate_type](values)
+
+
+def test_not_and_buf():
+    assert evaluate_gate(GateType.NOT, [0]) == 1
+    assert evaluate_gate(GateType.NOT, [1]) == 0
+    assert evaluate_gate(GateType.BUF, [0]) == 0
+    assert evaluate_gate(GateType.BUF, [1]) == 1
+
+
+@pytest.mark.parametrize("gate_type", list(_REFERENCE))
+def test_packed_matches_scalar(gate_type):
+    # 64 random-ish patterns per word, derived deterministically.
+    words = [0x5555_5555_5555_5555, 0x3333_3333_3333_3333, 0x0F0F_0F0F_0F0F_0F0F]
+    packed = evaluate_gate_packed(gate_type, words)
+    for bit in range(64):
+        scalar_inputs = [(w >> bit) & 1 for w in words]
+        assert (packed >> bit) & 1 == evaluate_gate(gate_type, scalar_inputs)
+
+
+def test_packed_stays_in_word():
+    packed = evaluate_gate_packed(GateType.NAND, [0, 0])
+    assert packed == ALL_ONES_64
+    packed = evaluate_gate_packed(GateType.NOT, [ALL_ONES_64])
+    assert packed == 0
+
+
+def test_arity_validation():
+    with pytest.raises(ValueError):
+        evaluate_gate(GateType.AND, [1])
+    with pytest.raises(ValueError):
+        evaluate_gate(GateType.NOT, [1, 0])
+
+
+def test_inverting_property():
+    assert GateType.NAND.is_inverting
+    assert GateType.NOR.is_inverting
+    assert GateType.NOT.is_inverting
+    assert GateType.XNOR.is_inverting
+    assert not GateType.AND.is_inverting
+    assert not GateType.BUF.is_inverting
+
+
+@pytest.mark.parametrize(
+    "gate_type,n,expected",
+    [
+        (GateType.NOT, 1, 2),
+        (GateType.BUF, 1, 4),
+        (GateType.NAND, 2, 4),
+        (GateType.NAND, 3, 6),
+        (GateType.NOR, 2, 4),
+        (GateType.AND, 2, 6),
+        (GateType.OR, 3, 8),
+        (GateType.XOR, 2, 12),
+        (GateType.XNOR, 2, 14),
+    ],
+)
+def test_transistor_counts(gate_type, n, expected):
+    assert gate_type.transistor_count(n) == expected

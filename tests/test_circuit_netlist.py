@@ -1,0 +1,107 @@
+"""Unit tests for Circuit/Gate structure and validation."""
+
+import pytest
+
+from repro.circuit import Circuit, CircuitError, GateType
+
+
+def build_simple() -> Circuit:
+    ckt = Circuit(name="simple")
+    ckt.add_input("a")
+    ckt.add_input("b")
+    ckt.add_gate(GateType.AND, ["a", "b"], "c")
+    ckt.add_gate(GateType.NOT, ["c"], "d")
+    ckt.add_output("d")
+    return ckt
+
+
+def test_valid_circuit_passes():
+    build_simple().validate()
+
+
+def test_nets_enumeration():
+    ckt = build_simple()
+    assert ckt.nets == ["a", "b", "c", "d"]
+
+
+def test_driver_and_fanout():
+    ckt = build_simple()
+    assert ckt.driver_of("c").gate_type is GateType.AND
+    assert ckt.driver_of("a") is None
+    assert [g.name for g in ckt.fanout_of("c")] == ["d"]
+    fanout = ckt.fanout_map()
+    assert [g.name for g in fanout["a"]] == ["c"]
+    assert fanout["d"] == []
+
+
+def test_duplicate_primary_input_rejected():
+    ckt = Circuit(name="x")
+    ckt.add_input("a")
+    with pytest.raises(CircuitError):
+        ckt.add_input("a")
+
+
+def test_multiple_drivers_rejected():
+    ckt = build_simple()
+    ckt.add_gate(GateType.OR, ["a", "b"], "c", name="dup")
+    with pytest.raises(CircuitError, match="multiple drivers"):
+        ckt.validate()
+
+
+def test_undriven_input_rejected():
+    ckt = build_simple()
+    ckt.add_gate(GateType.AND, ["a", "ghost"], "e")
+    with pytest.raises(CircuitError, match="undriven"):
+        ckt.validate()
+
+
+def test_undriven_output_rejected():
+    ckt = build_simple()
+    ckt.add_output("ghost")
+    with pytest.raises(CircuitError, match="not driven"):
+        ckt.validate()
+
+
+def test_cycle_rejected():
+    ckt = Circuit(name="loop")
+    ckt.add_input("a")
+    ckt.add_gate(GateType.AND, ["a", "y"], "x")
+    ckt.add_gate(GateType.NOT, ["x"], "y")
+    ckt.add_output("y")
+    with pytest.raises(CircuitError, match="cycle"):
+        ckt.validate()
+
+
+def test_gate_without_inputs_rejected():
+    ckt = Circuit(name="x")
+    with pytest.raises(CircuitError):
+        ckt.add_gate(GateType.AND, [], "z")
+
+
+def test_stats():
+    stats = build_simple().stats()
+    assert stats == {
+        "inputs": 2,
+        "outputs": 1,
+        "gates": 2,
+        "nets": 4,
+        "transistors": 6 + 2,
+    }
+
+
+def test_diamond_not_a_cycle():
+    ckt = Circuit(name="diamond")
+    ckt.add_input("a")
+    ckt.add_gate(GateType.NOT, ["a"], "b")
+    ckt.add_gate(GateType.NOT, ["a"], "c")
+    ckt.add_gate(GateType.AND, ["b", "c"], "d")
+    ckt.add_output("d")
+    ckt.validate()
+
+
+def test_repeated_input_pin_allowed():
+    ckt = Circuit(name="rep")
+    ckt.add_input("a")
+    ckt.add_gate(GateType.AND, ["a", "a"], "b")
+    ckt.add_output("b")
+    ckt.validate()

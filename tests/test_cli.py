@@ -1,0 +1,26 @@
+"""Unit tests for the command-line entry point."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_cli_runs_small_benchmark(capsys, tmp_path):
+    svg = tmp_path / "layout.svg"
+    code = main(["c17", "--svg", str(svg)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "fit of eq. 11" in out
+    assert "theta(k)" in out
+    assert svg.exists()
+
+
+def test_cli_rejects_unknown_benchmark():
+    with pytest.raises(SystemExit):
+        main(["not-a-circuit"])
+
+
+def test_cli_technique_option(capsys):
+    code = main(["c17", "--technique", "either"])
+    assert code == 0
+    assert "Coverage growth" in capsys.readouterr().out

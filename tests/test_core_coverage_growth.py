@@ -1,0 +1,82 @@
+"""Unit tests for the coverage-growth laws (eqs. 7-10)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    T_of_theta,
+    coverage_at,
+    susceptibility_from_point,
+    susceptibility_ratio,
+    theta_of_T,
+    weighted_coverage_at,
+)
+
+
+def test_coverage_at_endpoints():
+    s = math.e**3
+    assert coverage_at(1, s) == 0.0
+    assert coverage_at(1e12, s) > 0.99
+
+
+def test_coverage_monotone_in_k():
+    s = math.e**2
+    values = [coverage_at(k, s) for k in (1, 2, 5, 20, 100, 1000)]
+    assert values == sorted(values)
+
+
+def test_lower_susceptibility_converges_faster():
+    easy = coverage_at(100, math.e**1.5)
+    hard = coverage_at(100, math.e**3)
+    assert easy > hard
+
+
+def test_paper_figure1_values():
+    """Fig. 1 parameters: s_T=e^3, s_theta=e^1.5, theta_max=0.96."""
+    s_T, s_th = math.e**3, math.e**1.5
+    k = math.e**3
+    assert coverage_at(k, s_T) == pytest.approx(1 - math.exp(-1))
+    theta = weighted_coverage_at(k, s_th, 0.96)
+    assert theta == pytest.approx(0.96 * (1 - math.exp(-2)))
+    assert theta > coverage_at(k, s_T)  # realistic curve leads
+    assert susceptibility_ratio(s_T, s_th) == pytest.approx(2.0)
+
+
+def test_eq9_consistent_with_eq7_eq8():
+    """Eliminating k between eqs. 7 and 8 must give eq. 9 exactly."""
+    s_T, s_th, theta_max = math.e**2.4, math.e**1.2, 0.93
+    r = susceptibility_ratio(s_T, s_th)
+    for k in (2.0, 7.0, 55.0, 1234.0):
+        T = coverage_at(k, s_T)
+        theta_direct = weighted_coverage_at(k, s_th, theta_max)
+        theta_via_T = theta_of_T(T, r, theta_max)
+        assert theta_direct == pytest.approx(theta_via_T, rel=1e-12)
+
+
+def test_T_of_theta_inverts_theta_of_T():
+    for theta in (0.1, 0.4, 0.8):
+        t = T_of_theta(theta, 1.9, 0.96)
+        assert theta_of_T(t, 1.9, 0.96) == pytest.approx(theta, rel=1e-12)
+
+
+def test_susceptibility_from_point_roundtrip():
+    s = math.e**2.7
+    k = 500
+    t = coverage_at(k, s)
+    assert susceptibility_from_point(k, t) == pytest.approx(s, rel=1e-9)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        coverage_at(0.5, math.e)
+    with pytest.raises(ValueError):
+        coverage_at(10, 1.0)
+    with pytest.raises(ValueError):
+        weighted_coverage_at(10, math.e, theta_max=1.5)
+    with pytest.raises(ValueError):
+        theta_of_T(0.5, -1.0)
+    with pytest.raises(ValueError):
+        susceptibility_ratio(0.9, math.e)
+    with pytest.raises(ValueError):
+        susceptibility_from_point(10, 1.0)

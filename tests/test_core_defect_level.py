@@ -1,0 +1,142 @@
+"""Unit tests for the defect-level models (eqs. 1, 2, 3, 11)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    agrawal,
+    ppm,
+    required_coverage,
+    required_coverage_williams_brown,
+    residual_defect_level,
+    sousa_defect_level,
+    weighted_defect_level,
+    williams_brown,
+)
+
+
+def test_williams_brown_endpoints():
+    assert williams_brown(0.75, 1.0) == 0.0
+    assert williams_brown(0.75, 0.0) == pytest.approx(0.25)
+
+
+def test_williams_brown_monotone_in_coverage():
+    values = [williams_brown(0.5, t / 10) for t in range(11)]
+    assert values == sorted(values, reverse=True)
+
+
+def test_williams_brown_validation():
+    with pytest.raises(ValueError):
+        williams_brown(0.0, 0.5)
+    with pytest.raises(ValueError):
+        williams_brown(0.75, 1.5)
+
+
+def test_agrawal_reduces_to_wb_shape_at_n1():
+    # At n = 1 the Agrawal model is DL = (1-T)(1-Y) / (Y + (1-T)(1-Y)),
+    # which still matches Williams-Brown at the endpoints.
+    assert agrawal(0.75, 1.0, 1.0) == 0.0
+    assert agrawal(0.75, 0.0, 1.0) == pytest.approx(0.25)
+
+
+def test_agrawal_multiplicity_lowers_dl():
+    for t in (0.3, 0.6, 0.9):
+        assert agrawal(0.75, t, 5.0) < agrawal(0.75, t, 1.0)
+    with pytest.raises(ValueError):
+        agrawal(0.75, 0.5, 0.5)
+
+
+def test_sousa_reduces_to_williams_brown():
+    for t in (0.0, 0.25, 0.5, 0.75, 0.9, 1.0):
+        assert sousa_defect_level(0.75, t, 1.0, 1.0) == pytest.approx(
+            williams_brown(0.75, t)
+        )
+
+
+def test_sousa_below_wb_at_mid_coverage_when_r_gt_1():
+    # R > 1: realistic faults are covered faster, DL sits below WB until the
+    # residual floor takes over near T = 1 (the paper's fig. 2).
+    for t in (0.2, 0.5, 0.8):
+        assert sousa_defect_level(0.75, t, 2.0, 0.96) < williams_brown(0.75, t)
+    assert sousa_defect_level(0.75, 1.0, 2.0, 0.96) > williams_brown(0.75, 1.0)
+
+
+def test_residual_defect_level():
+    floor = residual_defect_level(0.75, 0.96)
+    assert floor == pytest.approx(1 - 0.75**0.04)
+    assert sousa_defect_level(0.75, 1.0, 2.0, 0.96) == pytest.approx(floor)
+
+
+def test_paper_example_1():
+    """Example 1: Y=0.75, theta_max=1, R=2.1, DL target 100 ppm -> T=97.7%."""
+    t = required_coverage(0.75, 100e-6, susceptibility_ratio=2.1, theta_max=1.0)
+    assert t == pytest.approx(0.9775, abs=5e-4)
+    t_wb = required_coverage_williams_brown(0.75, 100e-6)
+    assert t_wb == pytest.approx(0.99965, abs=5e-5)
+
+
+def test_paper_example_2():
+    """Example 2: Y=0.75, T=1, theta_max=0.99 -> DL = 1 - 0.75**0.01."""
+    dl = sousa_defect_level(0.75, 1.0, 1.0, 0.99)
+    assert ppm(dl) == pytest.approx(2872.7, abs=1.0)
+    assert williams_brown(0.75, 1.0) == 0.0
+
+
+def test_required_coverage_roundtrip():
+    floor = residual_defect_level(0.8, 0.97)
+    for target in (floor * 1.2, floor * 3, floor * 10):
+        t = required_coverage(0.8, target, 1.7, 0.97)
+        assert sousa_defect_level(0.8, t, 1.7, 0.97) == pytest.approx(target, rel=1e-9)
+    # With a complete test (theta_max = 1) any positive target is reachable.
+    for target in (1e-5, 1e-3):
+        t = required_coverage(0.8, target, 1.7, 1.0)
+        assert sousa_defect_level(0.8, t, 1.7, 1.0) == pytest.approx(target, rel=1e-9)
+
+
+def test_required_coverage_below_floor_rejected():
+    floor = residual_defect_level(0.75, 0.96)
+    with pytest.raises(ValueError, match="residual"):
+        required_coverage(0.75, floor / 10, 2.0, 0.96)
+
+
+def test_weighted_defect_level_alias():
+    assert weighted_defect_level(0.8, 0.9) == williams_brown(0.8, 0.9)
+
+
+def test_ppm():
+    assert ppm(0.001) == 1000.0
+
+
+def test_clustered_reduces_to_poisson_at_large_alpha():
+    import math
+
+    from repro.core import clustered_defect_level
+
+    w = 0.3
+    y = math.exp(-w)
+    for theta in (0.0, 0.4, 0.9, 1.0):
+        poisson = williams_brown(y, theta)
+        clustered = clustered_defect_level(w, theta, clustering=1e8)
+        assert clustered == pytest.approx(poisson, rel=1e-5, abs=1e-9)
+
+
+def test_clustering_lowers_defect_level():
+    from repro.core import clustered_defect_level
+
+    w = 0.3
+    for theta in (0.3, 0.6, 0.9):
+        strong = clustered_defect_level(w, theta, clustering=0.5)
+        weak = clustered_defect_level(w, theta, clustering=50.0)
+        assert strong < weak
+
+
+def test_clustered_endpoints_and_validation():
+    from repro.core import clustered_defect_level
+
+    assert clustered_defect_level(0.3, 1.0, 2.0) == pytest.approx(0.0)
+    assert clustered_defect_level(0.0, 0.2, 2.0) == pytest.approx(0.0)
+    with pytest.raises(ValueError):
+        clustered_defect_level(-1.0, 0.5)
+    with pytest.raises(ValueError):
+        clustered_defect_level(0.3, 0.5, clustering=0.0)

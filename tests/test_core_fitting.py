@@ -1,0 +1,97 @@
+"""Unit tests for model fitting (R, theta_max, Agrawal n, susceptibility)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    agrawal,
+    coverage_at,
+    fit_agrawal_n,
+    fit_sousa_model,
+    fit_susceptibility,
+    sousa_defect_level,
+    weighted_coverage_at,
+)
+
+
+def test_fit_sousa_recovers_parameters():
+    y = 0.75
+    r_true, theta_true = 1.9, 0.96
+    coverages = np.linspace(0.05, 0.999, 40)
+    dls = [sousa_defect_level(y, t, r_true, theta_true) for t in coverages]
+    fit = fit_sousa_model(coverages, dls, y)
+    assert fit.susceptibility_ratio == pytest.approx(r_true, abs=0.02)
+    assert fit.theta_max == pytest.approx(theta_true, abs=0.005)
+    assert fit.residual < 1e-6
+
+
+def test_fit_sousa_with_noise():
+    rng = np.random.default_rng(5)
+    y = 0.75
+    coverages = np.linspace(0.1, 0.99, 60)
+    dls = np.array([sousa_defect_level(y, t, 2.2, 0.94) for t in coverages])
+    noisy = np.clip(dls * (1 + rng.normal(0, 0.03, dls.shape)), 1e-9, 0.999)
+    fit = fit_sousa_model(coverages, noisy, y)
+    assert fit.susceptibility_ratio == pytest.approx(2.2, abs=0.3)
+    assert fit.theta_max == pytest.approx(0.94, abs=0.02)
+
+
+def test_fit_sousa_identifies_wb_data_as_r1():
+    y = 0.8
+    coverages = np.linspace(0.05, 0.999, 30)
+    dls = [sousa_defect_level(y, t, 1.0, 1.0) for t in coverages]
+    fit = fit_sousa_model(coverages, dls, y)
+    assert fit.susceptibility_ratio == pytest.approx(1.0, abs=0.02)
+    assert fit.theta_max == pytest.approx(1.0, abs=0.005)
+
+
+def test_fit_sousa_predict():
+    y = 0.75
+    coverages = np.linspace(0.1, 0.99, 30)
+    dls = [sousa_defect_level(y, t, 1.5, 0.97) for t in coverages]
+    fit = fit_sousa_model(coverages, dls, y)
+    assert fit.predict(y, 0.5) == pytest.approx(
+        sousa_defect_level(y, 0.5, 1.5, 0.97), rel=0.02
+    )
+
+
+def test_fit_sousa_validation():
+    with pytest.raises(ValueError):
+        fit_sousa_model([0.5], [0.1], 0.75)
+    with pytest.raises(ValueError):
+        fit_sousa_model([0.5, 0.6], [0.1, 0.2], 1.5)
+
+
+def test_fit_agrawal_n_recovers():
+    y = 0.75
+    n_true = 4.0
+    coverages = np.linspace(0.05, 0.99, 40)
+    dls = [agrawal(y, t, n_true) for t in coverages]
+    assert fit_agrawal_n(coverages, dls, y) == pytest.approx(n_true, abs=0.05)
+
+
+def test_fit_susceptibility_fixed_theta():
+    s_true = math.e**2.5
+    ks = [2, 4, 8, 32, 128, 1024, 8192]
+    curve = [coverage_at(k, s_true) for k in ks]
+    s_fit, theta = fit_susceptibility(ks, curve, theta_max=1.0)
+    assert math.log(s_fit) == pytest.approx(2.5, abs=1e-6)
+    assert theta == 1.0
+
+
+def test_fit_susceptibility_free_theta():
+    s_true, theta_true = math.e**1.4, 0.92
+    ks = [2, 4, 8, 32, 128, 1024, 8192, 65536]
+    curve = [weighted_coverage_at(k, s_true, theta_true) for k in ks]
+    s_fit, theta_fit = fit_susceptibility(ks, curve)
+    assert math.log(s_fit) == pytest.approx(1.4, abs=0.02)
+    assert theta_fit == pytest.approx(theta_true, abs=0.005)
+
+
+def test_fit_susceptibility_validation():
+    with pytest.raises(ValueError):
+        fit_susceptibility([2], [0.5])
+    with pytest.raises(ValueError):
+        fit_susceptibility([0.5, 2], [0.1, 0.2])

@@ -1,0 +1,69 @@
+"""Unit tests for weighted-fault arithmetic (eqs. 4-6)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    probability_from_weight,
+    unweighted_coverage,
+    weight_from_probability,
+    weighted_coverage,
+    weights_for_yield,
+    yield_from_weights,
+)
+
+
+def test_weight_probability_roundtrip():
+    for p in (0.0, 0.01, 0.3, 0.9):
+        w = weight_from_probability(p)
+        assert probability_from_weight(w) == pytest.approx(p)
+
+
+def test_weight_validation():
+    with pytest.raises(ValueError):
+        weight_from_probability(1.0)
+    with pytest.raises(ValueError):
+        probability_from_weight(-0.1)
+
+
+def test_yield_from_weights():
+    assert yield_from_weights([]) == 1.0
+    assert yield_from_weights([0.1, 0.2]) == pytest.approx(math.exp(-0.3))
+    with pytest.raises(ValueError):
+        yield_from_weights([0.1, -0.2])
+
+
+def test_weights_for_yield():
+    weights = [0.1, 0.3, 0.6]
+    scaled = weights_for_yield(weights, 0.75)
+    assert yield_from_weights(scaled) == pytest.approx(0.75)
+    # Ratios preserved.
+    assert scaled[1] / scaled[0] == pytest.approx(3.0)
+    with pytest.raises(ValueError):
+        weights_for_yield([0.0], 0.75)
+    with pytest.raises(ValueError):
+        weights_for_yield(weights, 1.0)
+
+
+def test_weighted_coverage_eq6():
+    weights = [1.0, 2.0, 3.0, 4.0]
+    detected = [True, False, True, False]
+    assert weighted_coverage(weights, detected) == pytest.approx(4.0 / 10.0)
+    assert unweighted_coverage(detected) == pytest.approx(0.5)
+
+
+def test_weighted_vs_unweighted_differ():
+    weights = [10.0, 0.1, 0.1]
+    heavy_hit = weighted_coverage(weights, [True, False, False])
+    light_hit = weighted_coverage(weights, [False, True, True])
+    assert heavy_hit > 0.9
+    assert light_hit < 0.1
+    assert unweighted_coverage([True, False, False]) == pytest.approx(1 / 3)
+
+
+def test_empty_edge_cases():
+    assert weighted_coverage([], []) == 1.0
+    assert unweighted_coverage([]) == 1.0
+    with pytest.raises(ValueError):
+        weighted_coverage([1.0], [True, False])

@@ -1,0 +1,57 @@
+"""Unit tests for the classical yield models."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    defects_for_yield,
+    murphy_yield,
+    negative_binomial_yield,
+    poisson_yield,
+    scale_yield_to_area,
+)
+
+
+def test_poisson_basics():
+    assert poisson_yield(0.0, 10.0) == 1.0
+    assert poisson_yield(0.01, 100.0) == pytest.approx(math.exp(-1))
+
+
+def test_negative_binomial_limits():
+    ad = 1.0
+    nb_large_alpha = negative_binomial_yield(0.01, 100.0, clustering=1e7)
+    assert nb_large_alpha == pytest.approx(math.exp(-ad), rel=1e-5)
+    # Clustering raises yield at equal average defect count.
+    assert negative_binomial_yield(0.01, 100.0, 0.5) > poisson_yield(0.01, 100.0)
+
+
+def test_murphy_between_poisson_and_one():
+    y_p = poisson_yield(0.02, 100.0)
+    y_m = murphy_yield(0.02, 100.0)
+    assert y_p < y_m < 1.0
+    assert murphy_yield(0.0, 50.0) == 1.0
+
+
+def test_defects_for_yield_roundtrip():
+    d = defects_for_yield(0.75, 42.0)
+    assert poisson_yield(d, 42.0) == pytest.approx(0.75)
+
+
+def test_scale_yield_to_area():
+    assert scale_yield_to_area(0.9, 2.0) == pytest.approx(0.81)
+    assert scale_yield_to_area(0.9, 0.5) == pytest.approx(0.9**0.5)
+    # The paper's scaling trick: pick the ratio that lands on Y = 0.75.
+    ratio = math.log(0.75) / math.log(0.9)
+    assert scale_yield_to_area(0.9, ratio) == pytest.approx(0.75)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        poisson_yield(-0.1, 10)
+    with pytest.raises(ValueError):
+        negative_binomial_yield(0.01, 10, clustering=0)
+    with pytest.raises(ValueError):
+        defects_for_yield(0.0, 10)
+    with pytest.raises(ValueError):
+        scale_yield_to_area(0.9, 0.0)

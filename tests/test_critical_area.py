@@ -1,0 +1,99 @@
+"""Unit tests for critical-area computation (closed form vs Monte Carlo)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.defects import (
+    SizeDistribution,
+    average_critical_area,
+    bridge_critical_area,
+    monte_carlo_average,
+    open_critical_area,
+)
+
+
+def test_kernels_zero_below_gap():
+    assert bridge_critical_area(10, 2.0, 1.5) == 0.0
+    assert open_critical_area(10, 2.0, 2.0) == 0.0
+
+
+def test_kernels_linear_above_gap():
+    assert bridge_critical_area(10, 2.0, 5.0) == 30.0
+    assert open_critical_area(8, 1.5, 2.5) == 8.0
+
+
+def test_average_zero_when_gap_exceeds_xmax():
+    size = SizeDistribution(x0=1, x_max=10)
+    assert average_critical_area(100, 12, size) == 0.0
+
+
+def test_average_scales_linearly_with_length():
+    size = SizeDistribution()
+    one = average_critical_area(1.0, 2.0, size)
+    ten = average_critical_area(10.0, 2.0, size)
+    assert ten == pytest.approx(10 * one)
+
+
+def test_average_decreases_with_gap():
+    size = SizeDistribution()
+    values = [average_critical_area(10, g, size) for g in (1, 2, 4, 8, 16)]
+    assert values == sorted(values, reverse=True)
+    assert all(v >= 0 for v in values)
+
+
+def test_closed_form_matches_quadrature():
+    from scipy.integrate import quad
+
+    size = SizeDistribution(x0=1.0, x_max=30.0)
+    for gap in (0.5, 1.0, 2.5, 7.0, 20.0):
+        numeric, _ = quad(
+            lambda x: 10 * max(0.0, x - gap) * size.pdf(x), size.x0, size.x_max
+        )
+        closed = average_critical_area(10, gap, size)
+        assert closed == pytest.approx(numeric, rel=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    gap=st.floats(min_value=0.2, max_value=12.0),
+    length=st.floats(min_value=1.0, max_value=50.0),
+)
+def test_monte_carlo_agrees_with_closed_form(gap, length):
+    size = SizeDistribution(x0=1.0, x_max=30.0)
+    closed = average_critical_area(length, gap, size)
+    mc = monte_carlo_average(length, gap, size, samples=40000, seed=11)
+    assert mc == pytest.approx(closed, rel=0.15, abs=length * 0.02)
+
+
+def test_small_gaps_clamp_at_x0():
+    # Gaps below x0 all behave like gap relative to the x0 floor: finite.
+    size = SizeDistribution(x0=1.0, x_max=30.0)
+    a = average_critical_area(10, 0.0, size)
+    b = average_critical_area(10, 0.5, size)
+    assert a > b > 0
+
+
+@pytest.mark.parametrize("exponent", [1.5, 2.0, 2.5, 3.0, 4.0])
+def test_general_exponent_matches_quadrature(exponent):
+    from scipy.integrate import quad
+
+    size = SizeDistribution(x0=1.0, x_max=30.0, exponent=exponent)
+    for gap in (0.5, 2.0, 9.0):
+        numeric, _ = quad(
+            lambda x: 7.5 * max(0.0, x - gap) * size.pdf(x),
+            size.x0,
+            size.x_max,
+            points=[gap] if size.x0 < gap < size.x_max else None,
+        )
+        closed = average_critical_area(7.5, gap, size)
+        assert closed == pytest.approx(numeric, rel=1e-9)
+
+
+def test_smaller_exponent_weights_large_defects_more():
+    heavy_tail = SizeDistribution(exponent=2.0)
+    light_tail = SizeDistribution(exponent=4.0)
+    wide_gap = 10.0
+    assert average_critical_area(5, wide_gap, heavy_tail) > average_critical_area(
+        5, wide_gap, light_tail
+    )

@@ -1,0 +1,36 @@
+"""Unit tests for the delay-screen augmentation of realistic coverage."""
+
+import pytest
+
+from repro.atpg import random_patterns
+from repro.defects import (
+    BridgeFault,
+    TransistorGateOpen,
+    TransistorStuckOpen,
+    extract_faults,
+)
+from repro.switchsim.coverage import delay_screen_detections
+
+
+def test_delay_screen_targets_open_classes(c17_design):
+    patterns = random_patterns(5, 96, seed=41)
+    faults = extract_faults(c17_design).faults
+    detections = delay_screen_detections(faults, c17_design, patterns)
+    by_id = {id(f): f for f in faults}
+    assert detections, "expected the screen to reach some opens"
+    for fault_id, k in detections.items():
+        fault = by_id[fault_id]
+        assert isinstance(fault, (TransistorStuckOpen, TransistorGateOpen))
+        assert 2 <= k <= len(patterns)  # two-pattern tests start at k = 2
+
+
+def test_delay_screen_ignores_bridges(c17_design):
+    patterns = random_patterns(5, 32, seed=42)
+    bridge = BridgeFault(weight=1.0, net_a="G10", net_b="G11")
+    assert delay_screen_detections([bridge], c17_design, patterns) == {}
+
+
+def test_delay_screen_constant_patterns_detect_nothing(c17_design):
+    patterns = [[0, 0, 0, 0, 0]] * 10
+    faults = extract_faults(c17_design).faults
+    assert delay_screen_detections(faults, c17_design, patterns) == {}

@@ -1,0 +1,53 @@
+"""Unit tests for the DFS topological order used by placement."""
+
+from repro.circuit import c17, c432_like, ripple_carry_adder
+from repro.circuit.levelize import dfs_topological, levelize
+
+
+def _assert_topological(circuit, order):
+    seen = set(circuit.primary_inputs)
+    for gate in order:
+        assert all(net in seen for net in gate.inputs), gate.name
+        seen.add(gate.output)
+
+
+def test_dfs_is_topological_c17():
+    ckt = c17()
+    order = dfs_topological(ckt)
+    assert len(order) == ckt.gate_count
+    _assert_topological(ckt, order)
+
+
+def test_dfs_is_topological_c432(c432_circuit):
+    order = dfs_topological(c432_circuit)
+    assert len(order) == c432_circuit.gate_count
+    _assert_topological(c432_circuit, order)
+
+
+def test_dfs_covers_dangling_gates():
+    from repro.circuit import Circuit, GateType
+
+    ckt = Circuit(name="dangling")
+    ckt.add_input("a")
+    ckt.add_gate(GateType.NOT, ["a"], "z")
+    ckt.add_gate(GateType.NOT, ["a"], "unused")  # drives nothing
+    ckt.add_output("z")
+    order = dfs_topological(ckt)
+    assert {g.output for g in order} == {"z", "unused"}
+
+
+def test_dfs_improves_locality_over_bfs():
+    """Cone order keeps driver and consumer close, unlike level order."""
+    ckt = ripple_carry_adder(8)
+
+    def average_distance(order):
+        position = {g.output: i for i, g in enumerate(order)}
+        total = n = 0
+        for gate in order:
+            for net in gate.inputs:
+                if net in position:
+                    total += abs(position[gate.output] - position[net])
+                    n += 1
+        return total / n
+
+    assert average_distance(dfs_topological(ckt)) < average_distance(levelize(ckt))

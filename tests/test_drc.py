@@ -1,0 +1,69 @@
+"""Tests for the spacing DRC checker."""
+
+import pytest
+
+from repro.layout import Layer, Rect, build_layout
+from repro.layout.drc import PAD_CLEARANCE_RULE, SpacingViolation, check_spacing
+
+
+def test_generated_layouts_are_spacing_clean(c17_design, rca4_design):
+    assert check_spacing(c17_design) == []
+    assert check_spacing(rca4_design) == []
+
+
+def test_alu_layout_spacing_clean():
+    from repro.circuit import alu4
+
+    assert check_spacing(build_layout(alu4())) == []
+
+
+def test_planted_violation_reported(c17_design):
+    from dataclasses import replace as dc_replace
+    from repro.layout.design import LayoutDesign
+
+    shapes = list(c17_design.shapes)
+    # Plant a metal2 wire 0.5 um away from an existing metal2 shape.
+    victim = next(
+        s for s in shapes if s.layer is Layer.METAL2 and s.net not in ("VDD", "GND")
+    )
+    shapes.append(
+        Rect(
+            Layer.METAL2,
+            victim.urx + 0.5,
+            victim.lly,
+            victim.urx + 2.0,
+            victim.ury,
+            "INTRUDER",
+        )
+    )
+    sabotaged = LayoutDesign(
+        name=c17_design.name,
+        source=c17_design.source,
+        mapped=c17_design.mapped,
+        placement=c17_design.placement,
+        plan=c17_design.plan,
+        shapes=shapes,
+        transistors=c17_design.transistors,
+        cell_of_net=c17_design.cell_of_net,
+        row_base=c17_design.row_base,
+    )
+    violations = check_spacing(sabotaged)
+    assert violations
+    worst = violations[0]
+    assert {worst.shape_a.net, worst.shape_b.net} >= {"INTRUDER"} or any(
+        "INTRUDER" in (v.shape_a.net, v.shape_b.net) for v in violations
+    )
+    assert 0 < worst.severity <= 1
+
+
+def test_severity_metric():
+    a = Rect(Layer.METAL1, 0, 0, 1, 1, "x")
+    b = Rect(Layer.METAL1, 1.75, 0, 3, 1, "y")
+    violation = SpacingViolation(a, b, 0.75, 1.5)
+    assert violation.severity == pytest.approx(0.5)
+
+
+def test_pad_clearance_rule_is_smaller():
+    from repro.layout.geometry import DesignRules
+
+    assert PAD_CLEARANCE_RULE < DesignRules().metal1_space

@@ -1,0 +1,142 @@
+"""Unit tests for layout fault extraction (the 'lift' role)."""
+
+import pytest
+
+from repro.defects import (
+    BridgeFault,
+    DefectMechanism,
+    DefectStatistics,
+    FloatingNetFault,
+    TransistorGateOpen,
+    TransistorStuckOn,
+    TransistorStuckOpen,
+    extract_faults,
+)
+from repro.layout.cells import GND, VDD
+
+
+@pytest.fixture(scope="module")
+def c17_faults(c17_design):
+    return extract_faults(c17_design)
+
+
+def test_all_classes_present(c17_faults):
+    classes = {type(f).__name__ for f in c17_faults}
+    assert classes == {
+        "BridgeFault",
+        "FloatingNetFault",
+        "TransistorGateOpen",
+        "TransistorStuckOn",
+        "TransistorStuckOpen",
+    }
+
+
+def test_weights_positive_and_finite(c17_faults):
+    for fault in c17_faults:
+        assert fault.weight > 0
+        assert fault.weight < 1.0
+
+
+def test_bridge_endpoints_are_real_nets(c17_design, c17_faults):
+    nets = set(c17_design.mapped.nets) | {VDD, GND}
+    internal = {t.source for t in c17_design.transistors} | {
+        t.drain for t in c17_design.transistors
+    }
+    for fault in c17_faults:
+        if isinstance(fault, BridgeFault):
+            assert fault.net_a in nets | internal, fault.net_a
+            assert fault.net_b in nets | internal, fault.net_b
+            assert fault.net_a != fault.net_b
+
+
+def test_stuck_on_from_channel_bridges(c17_faults, c17_design):
+    device_names = {t.name for t in c17_design.transistors}
+    stuck_ons = [f for f in c17_faults if isinstance(f, TransistorStuckOn)]
+    assert stuck_ons
+    for fault in stuck_ons:
+        assert fault.transistor in device_names
+
+
+def test_gate_oxide_shorts_extracted(c17_faults):
+    oxide = [
+        f
+        for f in c17_faults
+        if isinstance(f, BridgeFault)
+        and DefectMechanism.GATE_OXIDE_SHORT in f.origin
+    ]
+    assert oxide
+    for fault in oxide:
+        assert "#" not in fault.net_a and "#" not in fault.net_b
+
+
+def test_floating_inputs_reference_real_cells(c17_faults, c17_design):
+    instances = {g.name for g in c17_design.mapped.gates}
+    for fault in c17_faults:
+        if isinstance(fault, FloatingNetFault):
+            for inst, net in fault.floating_inputs:
+                assert inst in instances
+                gate = next(g for g in c17_design.mapped.gates if g.name == inst)
+                assert net in gate.inputs
+
+
+def test_every_gate_input_has_floating_fault(c17_faults, c17_design):
+    """Each cell input pin can be severed (pin contact open at minimum)."""
+    floatable = set()
+    for fault in c17_faults:
+        if isinstance(fault, FloatingNetFault):
+            floatable.update(fault.floating_inputs)
+    for gate in c17_design.mapped.gates:
+        for net in gate.inputs:
+            assert (gate.name, net) in floatable, (gate.name, net)
+
+
+def test_gate_open_per_device(c17_faults, c17_design):
+    """Poly breaks between the two channels isolate the upper device."""
+    gate_opens = {f.transistor for f in c17_faults if isinstance(f, TransistorGateOpen)}
+    # The PMOS channel sits above the NMOS channel on every stripe, so each
+    # stripe yields exactly one single-device gate-open fault (the PMOS).
+    p_devices = {t.name for t in c17_design.transistors if t.polarity == "p"}
+    assert gate_opens <= p_devices
+    assert gate_opens  # present
+
+
+def test_stuck_open_targets_exist(c17_faults, c17_design):
+    device_names = {t.name for t in c17_design.transistors}
+    for fault in c17_faults:
+        if isinstance(fault, TransistorStuckOpen):
+            assert fault.transistors
+            assert set(fault.transistors) <= device_names
+
+
+def test_vdd_gnd_bridge_extracted(c17_faults):
+    """The power straps run side by side: a VDD-GND short must appear."""
+    assert any(
+        isinstance(f, BridgeFault) and {f.net_a, f.net_b} == {VDD, GND}
+        for f in c17_faults
+    )
+
+
+def test_yield_scaling_roundtrip(c17_faults):
+    scaled = c17_faults.scaled_to_yield(0.75)
+    assert scaled.predicted_yield() == pytest.approx(0.75)
+    assert len(scaled) == len(c17_faults)
+
+
+def test_zero_density_suppresses_mechanism(c17_design):
+    stats = DefectStatistics(
+        densities={DefectMechanism.METAL1_SHORT: 1e-6}
+    )
+    faults = extract_faults(c17_design, stats)
+    for fault in faults:
+        assert fault.origin == (DefectMechanism.METAL1_SHORT,)
+
+
+def test_bigger_spacing_smaller_weight(c17_design, c17_faults):
+    """Bridge weight must decrease with spacing, other things equal."""
+    from repro.defects.critical_area import average_critical_area
+    from repro.defects.statistics import SizeDistribution
+
+    size = SizeDistribution()
+    w_close = average_critical_area(10, 1.5, size)
+    w_far = average_critical_area(10, 6.0, size)
+    assert w_close > w_far

@@ -1,0 +1,68 @@
+"""Unit tests for joint (Y, R, theta_max) fallout fitting and test length."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import coverage_at, fit_sousa_with_yield, sousa_defect_level
+from repro.core import test_length_for_coverage as required_test_length
+
+
+def test_fallout_fit_recovers_parameters():
+    y, r, tm = 0.75, 1.9, 0.96
+    coverages = np.linspace(0.02, 0.999, 60)
+    dls = [sousa_defect_level(y, t, r, tm) for t in coverages]
+    fit = fit_sousa_with_yield(coverages, dls)
+    assert fit.yield_value == pytest.approx(y, abs=0.01)
+    assert fit.susceptibility_ratio == pytest.approx(r, abs=0.05)
+    assert fit.theta_max == pytest.approx(tm, abs=0.01)
+    assert fit.residual < 1e-6
+
+
+def test_fallout_fit_with_noise():
+    rng = np.random.default_rng(17)
+    y, r, tm = 0.6, 1.4, 0.93
+    coverages = np.linspace(0.05, 0.995, 80)
+    dls = np.array([sousa_defect_level(y, t, r, tm) for t in coverages])
+    noisy = np.clip(dls * np.exp(rng.normal(0, 0.05, dls.shape)), 1e-9, 0.999)
+    fit = fit_sousa_with_yield(coverages, noisy)
+    assert fit.yield_value == pytest.approx(y, abs=0.05)
+    assert fit.susceptibility_ratio == pytest.approx(r, abs=0.3)
+    assert fit.theta_max == pytest.approx(tm, abs=0.03)
+
+
+def test_fallout_fit_predict():
+    y, r, tm = 0.8, 2.2, 0.97
+    coverages = np.linspace(0.05, 0.99, 40)
+    dls = [sousa_defect_level(y, t, r, tm) for t in coverages]
+    fit = fit_sousa_with_yield(coverages, dls)
+    assert fit.predict(0.5) == pytest.approx(
+        sousa_defect_level(y, 0.5, r, tm), rel=0.05
+    )
+
+
+def test_fallout_fit_validation():
+    with pytest.raises(ValueError):
+        fit_sousa_with_yield([0.5, 0.6], [0.1, 0.05])
+
+
+def test_test_length_roundtrip():
+    s = math.e**2.2
+    for target in (0.5, 0.9, 0.99):
+        k = required_test_length(target, s)
+        assert coverage_at(k, s) == pytest.approx(target, rel=1e-9)
+
+
+def test_test_length_monotone():
+    s = math.e**3
+    lengths = [required_test_length(t, s) for t in (0.5, 0.8, 0.95, 0.99)]
+    assert lengths == sorted(lengths)
+    assert required_test_length(0.0, s) == 1.0
+
+
+def test_test_length_validation():
+    with pytest.raises(ValueError):
+        required_test_length(1.0, math.e)
+    with pytest.raises(ValueError):
+        required_test_length(0.5, 1.0)

@@ -1,0 +1,145 @@
+"""Unit tests for realistic fault records and the aggregating FaultList."""
+
+import math
+
+import pytest
+
+from repro.defects import (
+    BridgeFault,
+    DefectMechanism,
+    FaultList,
+    FloatingNetFault,
+    TransistorGateOpen,
+    TransistorStuckOn,
+    TransistorStuckOpen,
+)
+
+
+def test_bridge_order_normalised():
+    a = BridgeFault(weight=1.0, net_a="x", net_b="a")
+    assert (a.net_a, a.net_b) == ("a", "x")
+    b = BridgeFault(weight=2.0, net_a="a", net_b="x")
+    assert a.key() == b.key()
+
+
+def test_fault_list_aggregates_same_effect():
+    faults = FaultList()
+    faults.add(BridgeFault(weight=1.0, origin=(DefectMechanism.METAL1_SHORT,), net_a="a", net_b="b"))
+    faults.add(BridgeFault(weight=2.0, origin=(DefectMechanism.METAL2_SHORT,), net_a="b", net_b="a"))
+    assert len(faults) == 1
+    merged = faults.faults[0]
+    assert merged.weight == 3.0
+    assert set(merged.origin) == {
+        DefectMechanism.METAL1_SHORT,
+        DefectMechanism.METAL2_SHORT,
+    }
+
+
+def test_zero_weight_dropped():
+    faults = FaultList()
+    faults.add(BridgeFault(weight=0.0, net_a="a", net_b="b"))
+    assert len(faults) == 0
+
+
+def test_distinct_effects_not_merged():
+    faults = FaultList()
+    faults.add(BridgeFault(weight=1.0, net_a="a", net_b="b"))
+    faults.add(BridgeFault(weight=1.0, net_a="a", net_b="c"))
+    faults.add(TransistorStuckOn(weight=1.0, transistor="g.N0"))
+    faults.add(TransistorStuckOpen(weight=1.0, transistors=("g.N0",)))
+    faults.add(TransistorGateOpen(weight=1.0, transistor="g.N0"))
+    faults.add(FloatingNetFault(weight=1.0, net="n", floating_inputs=(("g", "n"),)))
+    assert len(faults) == 6
+
+
+def test_probability_weight_relation():
+    fault = BridgeFault(weight=0.25, net_a="a", net_b="b")
+    assert fault.probability == pytest.approx(1 - math.exp(-0.25))
+
+
+def test_yield_prediction():
+    faults = FaultList()
+    faults.add(BridgeFault(weight=0.1, net_a="a", net_b="b"))
+    faults.add(BridgeFault(weight=0.2, net_a="a", net_b="c"))
+    assert faults.total_weight() == pytest.approx(0.3)
+    assert faults.predicted_yield() == pytest.approx(math.exp(-0.3))
+
+
+def test_scaling_to_target_yield():
+    faults = FaultList()
+    faults.add(BridgeFault(weight=0.05, net_a="a", net_b="b"))
+    faults.add(FloatingNetFault(weight=0.02, net="n", floating_inputs=(("g", "n"),)))
+    scaled = faults.scaled_to_yield(0.75)
+    assert scaled.predicted_yield() == pytest.approx(0.75)
+    # Relative weights preserved.
+    w = scaled.weights()
+    assert w[0] / w[1] == pytest.approx(0.05 / 0.02)
+    # Original untouched.
+    assert faults.total_weight() == pytest.approx(0.07)
+
+
+def test_scaling_validation():
+    faults = FaultList()
+    with pytest.raises(ValueError):
+        faults.scaled_to_yield(0.75)  # empty
+    faults.add(BridgeFault(weight=1.0, net_a="a", net_b="b"))
+    with pytest.raises(ValueError):
+        faults.scaled_to_yield(1.5)
+
+
+def test_by_class_and_describe():
+    faults = FaultList()
+    faults.add(BridgeFault(weight=1.0, net_a="a", net_b="b"))
+    faults.add(TransistorStuckOn(weight=1.0, transistor="g.P1"))
+    groups = faults.by_class()
+    assert set(groups) == {"BridgeFault", "TransistorStuckOn"}
+    for fault in faults:
+        assert fault.describe()
+
+
+def test_floating_net_key_includes_all_effects():
+    a = FloatingNetFault(weight=1, net="n", floating_inputs=(("g", "n"),))
+    b = FloatingNetFault(
+        weight=1, net="n", floating_inputs=(("g", "n"),), floats_output_port=True
+    )
+    c = FloatingNetFault(
+        weight=1, net="n", floating_inputs=(("g", "n"),), stuck_open=("g.N0",)
+    )
+    assert len({a.key(), b.key(), c.key()}) == 3
+
+
+def test_json_roundtrip(tmp_path):
+    faults = FaultList()
+    faults.add(
+        BridgeFault(
+            weight=0.25,
+            origin=(DefectMechanism.METAL1_SHORT,),
+            net_a="a",
+            net_b="b",
+        )
+    )
+    faults.add(
+        FloatingNetFault(
+            weight=0.5,
+            origin=(DefectMechanism.CONTACT_OPEN,),
+            net="n",
+            floating_inputs=(("g1", "n"), ("g2", "n")),
+            stuck_open=("g1.N0",),
+        )
+    )
+    faults.add(
+        TransistorStuckOpen(
+            weight=0.1,
+            origin=(DefectMechanism.DIFF_OPEN,),
+            transistors=("g1.N0", "g1.N1"),
+            instance="g1",
+        )
+    )
+    path = tmp_path / "faults.json"
+    faults.save_json(path)
+    loaded = FaultList.load_json(path)
+    assert len(loaded) == len(faults)
+    assert loaded.total_weight() == pytest.approx(faults.total_weight())
+    original_keys = {f.key() for f in faults}
+    loaded_keys = {f.key() for f in loaded}
+    assert original_keys == loaded_keys

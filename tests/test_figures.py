@@ -1,0 +1,72 @@
+"""Unit tests for the analytic figure reproductions (no heavy pipeline)."""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    example1_required_coverage,
+    example2_residual_dl,
+    figure1_coverage_growth,
+    figure2_model_curves,
+    figure3_weight_histogram,
+    figure4_coverage_curves,
+    figure5_dl_vs_T,
+    figure6_dl_vs_gamma,
+)
+
+SMALL = ExperimentConfig(benchmark="c17", max_random_patterns=128, seed=7)
+
+
+def test_figure1_structure():
+    data = figure1_coverage_growth()
+    assert set(data.series) == {"T(k)", "theta(k)"}
+    assert data.scalars["R"] == pytest.approx(2.0)
+    assert "Fig.1" in data.render
+    theta_values = [v for _, v in data.series["theta(k)"]]
+    assert max(theta_values) <= 0.96 + 1e-12
+
+
+def test_figure2_structure():
+    data = figure2_model_curves()
+    wb = dict(data.series["Williams-Brown"])
+    eq11 = dict(data.series["eq11"])
+    assert eq11[0.5] < wb[0.5]
+    assert eq11[1.0] > 0
+    assert data.scalars["residual_dl_ppm"] > 0
+
+
+def test_examples():
+    e1 = example1_required_coverage()
+    assert e1.scalars["T_eq11"] == pytest.approx(0.9775, abs=1e-3)
+    e2 = example2_residual_dl()
+    assert e2.scalars["dl_eq11_ppm"] == pytest.approx(2873, abs=2)
+
+
+def test_figure3_small_pipeline():
+    data = figure3_weight_histogram(SMALL)
+    assert data.scalars["n_faults"] > 50
+    assert data.scalars["log10_spread"] > 1.0
+    assert "histogram" in data.series
+
+
+def test_figure4_small_pipeline():
+    data = figure4_coverage_curves(SMALL)
+    assert set(data.series) == {"T(k)", "theta(k)", "Gamma(k)"}
+    assert data.scalars["final_T"] == 1.0
+    assert 0 < data.scalars["theta_max"] <= 1.0
+
+
+def test_figure5_small_pipeline():
+    data = figure5_dl_vs_T(SMALL)
+    assert {"simulated", "Williams-Brown", "fitted-eq11"} == set(data.series)
+    assert data.scalars["R_fit"] > 0
+    assert 0.5 <= data.scalars["theta_max_fit"] <= 1.0
+
+
+def test_figure6_small_pipeline():
+    data = figure6_dl_vs_gamma(SMALL)
+    assert {"simulated", "DL(Gamma)"} == set(data.series)
+    assert data.scalars["final_gamma"] <= 1.0
+    assert data.scalars["dl_actual_ppm"] >= 0

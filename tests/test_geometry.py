@@ -1,0 +1,104 @@
+"""Unit tests for layout geometry primitives."""
+
+import pytest
+
+from repro.layout import DesignRules, Layer, Rect, bounding_box, facing_span
+
+
+def test_rect_metrics():
+    r = Rect(Layer.METAL1, 0, 0, 4, 2)
+    assert r.width == 4
+    assert r.height == 2
+    assert r.area == 8
+    assert r.center == (2, 1)
+    assert r.min_dimension == 2
+    assert r.length == 4
+
+
+def test_degenerate_rect_rejected():
+    with pytest.raises(ValueError):
+        Rect(Layer.METAL1, 2, 0, 1, 1)
+
+
+def test_intersects_and_overlap():
+    a = Rect(Layer.METAL1, 0, 0, 2, 2)
+    b = Rect(Layer.METAL1, 1, 1, 3, 3)
+    c = Rect(Layer.METAL1, 5, 5, 6, 6)
+    touch = Rect(Layer.METAL1, 2, 0, 4, 2)
+    assert a.intersects(b)
+    assert a.overlap_area(b) == 1.0
+    assert not a.intersects(c)
+    assert a.intersects(touch)  # edge contact counts
+    assert a.overlap_area(touch) == 0.0
+
+
+def test_distance():
+    a = Rect(Layer.METAL1, 0, 0, 1, 1)
+    b = Rect(Layer.METAL1, 4, 0, 5, 1)
+    c = Rect(Layer.METAL1, 4, 5, 5, 6)
+    assert a.distance_to(b) == 3.0
+    assert a.distance_to(c) == pytest.approx((3**2 + 4**2) ** 0.5)
+    assert a.distance_to(a) == 0.0
+
+
+def test_translated_and_renamed():
+    r = Rect(Layer.POLY, 0, 0, 1, 1, net="x")
+    moved = r.translated(10, 5)
+    assert (moved.llx, moved.lly, moved.urx, moved.ury) == (10, 5, 11, 6)
+    assert moved.net == "x"
+    assert r.renamed("y").net == "y"
+
+
+def test_bounding_box():
+    shapes = [
+        Rect(Layer.METAL1, 0, 0, 1, 1),
+        Rect(Layer.METAL2, 5, -2, 6, 7),
+    ]
+    box = bounding_box(shapes)
+    assert (box.llx, box.lly, box.urx, box.ury) == (0, -2, 6, 7)
+    assert bounding_box([]) is None
+
+
+def test_facing_span_vertical_neighbours():
+    a = Rect(Layer.METAL1, 0, 0, 10, 1)
+    b = Rect(Layer.METAL1, 2, 3, 8, 4)
+    spacing, run = facing_span(a, b)
+    assert spacing == 2.0
+    assert run == 6.0
+
+
+def test_facing_span_horizontal_neighbours():
+    a = Rect(Layer.METAL1, 0, 0, 1, 10)
+    b = Rect(Layer.METAL1, 4, 2, 5, 6)
+    spacing, run = facing_span(a, b)
+    assert spacing == 3.0
+    assert run == 4.0
+
+
+def test_facing_span_diagonal_none():
+    a = Rect(Layer.METAL1, 0, 0, 1, 1)
+    b = Rect(Layer.METAL1, 5, 5, 6, 6)
+    assert facing_span(a, b) is None
+
+
+def test_facing_span_overlapping_none():
+    a = Rect(Layer.METAL1, 0, 0, 4, 4)
+    b = Rect(Layer.METAL1, 1, 1, 2, 2)
+    assert facing_span(a, b) is None
+
+
+def test_design_rules_lookup():
+    rules = DesignRules()
+    assert rules.min_width(Layer.METAL1) == rules.metal1_width
+    assert rules.min_space(Layer.METAL2) == rules.metal2_space
+    assert rules.metal1_pitch == rules.metal1_width + rules.metal1_space
+    assert rules.min_width(Layer.POLY) == rules.poly_width
+
+
+def test_layer_categories():
+    assert Layer.METAL1.is_conductor
+    assert Layer.POLY.is_conductor
+    assert not Layer.CONTACT.is_conductor
+    assert Layer.CONTACT.is_cut
+    assert Layer.VIA.is_cut
+    assert not Layer.NWELL.is_conductor

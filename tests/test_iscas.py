@@ -1,0 +1,140 @@
+"""Unit tests for the embedded benchmark circuits and generators."""
+
+import pytest
+
+from repro.circuit import (
+    BENCHMARKS,
+    GateType,
+    c17,
+    c432_like,
+    circuit_depth,
+    decoder,
+    load_benchmark,
+    mux_tree,
+    parity_tree,
+    ripple_carry_adder,
+)
+from repro.simulation import LogicSimulator
+
+
+def test_c17_interface():
+    ckt = c17()
+    assert len(ckt.primary_inputs) == 5
+    assert len(ckt.primary_outputs) == 2
+    assert ckt.gate_count == 6
+
+
+def test_c432_like_interface(c432_circuit):
+    # Matches the published c432 interface: 36 PIs, 7 POs, ~160+ gates.
+    assert len(c432_circuit.primary_inputs) == 36
+    assert len(c432_circuit.primary_outputs) == 7
+    assert 150 <= c432_circuit.gate_count <= 260
+    assert circuit_depth(c432_circuit) >= 15
+    kinds = {g.gate_type for g in c432_circuit.gates}
+    assert GateType.XOR in kinds  # the benchmark's XOR front layer
+
+
+def test_c432_like_priority_function(c432_circuit):
+    sim = LogicSimulator(c432_circuit)
+
+    def run(a=(), b=(), c=(), e=range(9)):
+        vec = [0] * 36
+        for i in a:
+            vec[i] = 1
+        for i in b:
+            vec[9 + i] = 1
+        for i in c:
+            vec[18 + i] = 1
+        for i in e:
+            vec[27 + i] = 1
+        out = sim.outputs(vec)
+        pos = c432_circuit.primary_outputs
+        return dict(zip(pos, out))
+
+    # No requests: nothing granted.
+    quiet = run()
+    assert quiet["PA"] == 0 and quiet["PB"] == 0 and quiet["PC"] == 0
+
+    # A request on group A wins regardless of B/C.
+    res = run(a=[3], b=[1], c=[7])
+    assert res["PA"] == 1 and res["PB"] == 0 and res["PC"] == 0
+    address = res["AD0"] + 2 * res["AD1"] + 4 * res["AD2"] + 8 * res["AD3"]
+    assert address == 3
+
+    # B wins when A is silent.
+    res = run(b=[5], c=[2])
+    assert res["PA"] == 0 and res["PB"] == 1 and res["PC"] == 0
+    address = res["AD0"] + 2 * res["AD1"] + 4 * res["AD2"] + 8 * res["AD3"]
+    assert address == 5
+
+    # Disabled channels are masked.
+    res = run(a=[4], e=[i for i in range(9) if i != 4])
+    assert res["PA"] == 0
+
+    # Lowest requesting channel of the winning group is encoded.
+    res = run(c=[2, 6])
+    assert res["PC"] == 1
+    address = res["AD0"] + 2 * res["AD1"] + 4 * res["AD2"] + 8 * res["AD3"]
+    assert address == 2
+
+
+def test_ripple_carry_adder_exhaustive_small():
+    ckt = ripple_carry_adder(3)
+    sim = LogicSimulator(ckt)
+    for a in range(8):
+        for b in range(8):
+            for cin in (0, 1):
+                vec = [(a >> i) & 1 for i in range(3)]
+                vec += [(b >> i) & 1 for i in range(3)]
+                vec += [cin]
+                out = sim.outputs(vec)
+                total = sum(bit << i for i, bit in enumerate(out[:3]))
+                total += out[3] << 3
+                assert total == a + b + cin
+
+
+def test_parity_tree():
+    ckt = parity_tree(6)
+    sim = LogicSimulator(ckt)
+    for code in range(64):
+        vec = [(code >> i) & 1 for i in range(6)]
+        assert sim.outputs(vec) == [bin(code).count("1") % 2]
+
+
+def test_mux_tree():
+    ckt = mux_tree(2)
+    sim = LogicSimulator(ckt)
+    for sel in range(4):
+        for data in range(16):
+            vec = [(data >> i) & 1 for i in range(4)]
+            vec += [(sel >> i) & 1 for i in range(2)]
+            assert sim.outputs(vec) == [(data >> sel) & 1]
+
+
+def test_decoder():
+    ckt = decoder(3)
+    sim = LogicSimulator(ckt)
+    for code in range(8):
+        vec = [(code >> i) & 1 for i in range(3)]
+        out = sim.outputs(vec)
+        assert sum(out) == 1
+        assert out[code] == 1
+
+
+def test_generator_argument_validation():
+    with pytest.raises(ValueError):
+        ripple_carry_adder(0)
+    with pytest.raises(ValueError):
+        parity_tree(1)
+    with pytest.raises(ValueError):
+        mux_tree(0)
+    with pytest.raises(ValueError):
+        decoder(0)
+
+
+def test_benchmark_registry():
+    for name in BENCHMARKS:
+        ckt = load_benchmark(name)
+        ckt.validate()
+    with pytest.raises(KeyError, match="unknown benchmark"):
+        load_benchmark("nonexistent")

@@ -1,0 +1,65 @@
+"""Property-based layout tests: every generated layout must verify clean."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import Circuit, GateType
+from repro.layout import SpatialIndex, build_layout, extract_transistors, verify_layout
+from repro.layout.geometry import Layer, Rect
+
+
+@st.composite
+def small_circuits(draw):
+    kinds = [GateType.AND, GateType.NAND, GateType.OR, GateType.NOR,
+             GateType.XOR, GateType.NOT, GateType.BUF]
+    n_inputs = draw(st.integers(min_value=2, max_value=5))
+    n_gates = draw(st.integers(min_value=2, max_value=14))
+    ckt = Circuit(name="prop")
+    nets = [ckt.add_input(f"i{k}") for k in range(n_inputs)]
+    for g in range(n_gates):
+        gt = draw(st.sampled_from(kinds))
+        fan = 1 if gt in (GateType.NOT, GateType.BUF) else draw(st.integers(2, 4))
+        sources = [nets[draw(st.integers(0, len(nets) - 1))] for _ in range(fan)]
+        ckt.add_gate(gt, sources, f"g{g}")
+        nets.append(f"g{g}")
+    ckt.add_output(nets[-1])
+    ckt.validate()
+    return ckt
+
+
+@settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ckt=small_circuits())
+def test_generated_layouts_always_verify_clean(ckt):
+    design = build_layout(ckt)
+    report = verify_layout(design)
+    assert report.clean, (report.split_nets, report.merged_nets, report.shorts[:2])
+    # Geometric transistor recovery matches the generated netlist exactly.
+    assert len(extract_transistors(design)) == len(design.transistors)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rects=st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=100),
+            st.floats(min_value=0, max_value=100),
+            st.floats(min_value=0.5, max_value=10),
+            st.floats(min_value=0.5, max_value=10),
+        ),
+        min_size=2,
+        max_size=40,
+    ),
+    cell_size=st.floats(min_value=3.0, max_value=40.0),
+)
+def test_spatial_index_candidate_pairs_complete(rects, cell_size):
+    shapes = [Rect(Layer.METAL1, x, y, x + w, y + h) for x, y, w, h in rects]
+    index = SpatialIndex(shapes, cell_size=cell_size)
+    pairs = set()
+    for a, b in index.candidate_pairs():
+        pairs.add((id(a), id(b)))
+        pairs.add((id(b), id(a)))
+    for i, a in enumerate(shapes):
+        for b in shapes[i + 1 :]:
+            if a.intersects(b):
+                assert (id(a), id(b)) in pairs

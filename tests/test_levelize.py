@@ -1,0 +1,81 @@
+"""Unit tests for levelization and cone extraction."""
+
+import pytest
+
+from repro.circuit import (
+    Circuit,
+    CircuitError,
+    GateType,
+    c17,
+    circuit_depth,
+    gate_levels,
+    input_cone,
+    levelize,
+    output_cone,
+    ripple_carry_adder,
+)
+
+
+def test_levelize_order_respects_dependencies(c432_circuit):
+    seen = set(c432_circuit.primary_inputs)
+    for gate in levelize(c432_circuit):
+        assert all(net in seen for net in gate.inputs), gate.name
+        seen.add(gate.output)
+
+
+def test_levelize_covers_all_gates(c432_circuit):
+    assert len(levelize(c432_circuit)) == c432_circuit.gate_count
+
+
+def test_gate_levels_monotone():
+    ckt = c17()
+    levels = gate_levels(ckt)
+    for gate in ckt.gates:
+        assert levels[gate.output] == 1 + max(levels[n] for n in gate.inputs)
+    assert all(levels[pi] == 0 for pi in ckt.primary_inputs)
+
+
+def test_depth_of_chain():
+    ckt = Circuit(name="chain")
+    ckt.add_input("a")
+    prev = "a"
+    for i in range(5):
+        ckt.add_gate(GateType.NOT, [prev], f"n{i}")
+        prev = f"n{i}"
+    ckt.add_output(prev)
+    assert circuit_depth(ckt) == 5
+
+
+def test_ripple_adder_depth_grows_linearly():
+    assert circuit_depth(ripple_carry_adder(8)) > circuit_depth(
+        ripple_carry_adder(4)
+    )
+
+
+def test_output_cone_c17():
+    ckt = c17()
+    cone = output_cone(ckt, "G11")
+    # G11 feeds G16 and G19, which feed G22 and G23.
+    assert cone == {"G11", "G16", "G19", "G22", "G23"}
+
+
+def test_input_cone_c17():
+    ckt = c17()
+    cone = input_cone(ckt, "G22")
+    assert cone == {"G22", "G10", "G16", "G1", "G2", "G3", "G6", "G11"}
+
+
+def test_cone_of_pi_is_forward_only():
+    ckt = c17()
+    assert input_cone(ckt, "G1") == {"G1"}
+    assert "G23" not in output_cone(ckt, "G1")
+
+
+def test_levelize_detects_cycle():
+    ckt = Circuit(name="bad")
+    ckt.add_input("a")
+    ckt.add_gate(GateType.AND, ["a", "y"], "x")
+    ckt.add_gate(GateType.NOT, ["x"], "y")
+    ckt.add_output("y")
+    with pytest.raises(CircuitError):
+        levelize(ckt)

@@ -1,0 +1,72 @@
+"""Unit tests for the parallel-pattern logic simulator."""
+
+import pytest
+
+from repro.circuit import c17
+from repro.simulation import LogicSimulator, pack_patterns, unpack_word
+from repro.simulation.logic_sim import patterns_from_ints
+
+
+def test_c17_known_vectors(c17_circuit):
+    sim = LogicSimulator(c17_circuit)
+    # G22 = NAND(G10, G16), with all inputs 0: G10=G11=1, G16=NAND(0,1)=1,
+    # G19=NAND(1,0)=1 -> G22=NAND(1,1)=0, G23=NAND(1,1)=0.
+    assert sim.outputs([0, 0, 0, 0, 0]) == [0, 0]
+    assert sim.outputs([1, 1, 1, 1, 1]) == [1, 0]
+
+
+def test_packed_matches_scalar(c17_circuit):
+    sim = LogicSimulator(c17_circuit)
+    patterns = patterns_from_ints(range(32), 5)
+    rows = sim.run_patterns(patterns)
+    for vec, row in zip(patterns, rows):
+        assert sim.outputs(vec) == row
+
+
+def test_pack_patterns_layout():
+    groups = pack_patterns([[1, 0], [0, 1], [1, 1]], 2)
+    assert len(groups) == 1
+    words = groups[0]
+    # Input 0 is high in patterns 0 and 2 -> bits 0b101.
+    assert words[0] == 0b101
+    assert words[1] == 0b110
+
+
+def test_pack_patterns_multiple_groups():
+    patterns = [[1]] * 130
+    groups = pack_patterns(patterns, 1)
+    assert len(groups) == 3
+    assert groups[0][0] == (1 << 64) - 1
+    assert groups[2][0] == 0b11
+
+
+def test_pack_patterns_width_mismatch():
+    with pytest.raises(ValueError, match="pattern 0"):
+        pack_patterns([[1, 0, 1]], 2)
+
+
+def test_unpack_word_roundtrip():
+    word = 0b1011
+    assert unpack_word(word, 4) == [1, 1, 0, 1]
+
+
+def test_simulate_packed_width_check(c17_circuit):
+    sim = LogicSimulator(c17_circuit)
+    with pytest.raises(ValueError, match="expected 5 input words"):
+        sim.simulate_packed([0, 0])
+
+
+def test_truth_table_small():
+    ckt = c17()
+    sim = LogicSimulator(ckt)
+    rows = sim.truth_table()
+    assert len(rows) == 32
+    # spot check one row against scalar simulation
+    vec, out = rows[19]
+    assert sim.outputs(list(vec)) == list(out)
+
+
+def test_truth_table_guard(c432_circuit):
+    sim = LogicSimulator(c432_circuit)
+    with pytest.raises(ValueError, match="20 inputs"):
+        sim.truth_table()

@@ -1,0 +1,64 @@
+"""Cross-validation: Monte-Carlo defect injection vs analytic extraction."""
+
+import pytest
+
+from repro.defects import BridgeFault, extract_faults
+from repro.defects.monte_carlo import sample_defects
+
+
+@pytest.fixture(scope="module")
+def campaign(c17_design):
+    return sample_defects(c17_design, n_samples=30000, seed=3)
+
+
+def test_some_defects_cause_faults(campaign):
+    assert campaign.n_faults > 0
+    assert campaign.benign > 0
+    assert campaign.n_faults + campaign.benign == campaign.n_samples
+    # Most random spot defects land on empty area or a single net.
+    assert campaign.fault_fraction < 0.9
+
+
+def test_bridges_dominate_hits(campaign):
+    assert sum(campaign.bridge_hits.values()) > sum(campaign.open_hits.values())
+
+
+def test_mc_frequencies_correlate_with_analytic_weights(c17_design, campaign):
+    """Frequently-hit bridges must be the heavy analytic bridges."""
+    faults = extract_faults(c17_design)
+    analytic = {
+        (f.net_a, f.net_b): f.weight
+        for f in faults
+        if isinstance(f, BridgeFault)
+    }
+    observed = campaign.bridge_hits.most_common(12)
+    matched = [pair for pair, _ in observed if pair in analytic]
+    # The sampled footprint classifier and the analytic facing-span pass use
+    # slightly different geometry, but the populations must overlap heavily.
+    assert len(matched) >= 0.6 * len(observed)
+
+    # Rank correlation on the matched pairs (Spearman by hand).
+    if len(matched) >= 5:
+        mc_rank = {pair: i for i, pair in enumerate(matched)}
+        by_weight = sorted(matched, key=lambda p: -analytic[p])
+        an_rank = {pair: i for i, pair in enumerate(by_weight)}
+        n = len(matched)
+        d2 = sum((mc_rank[p] - an_rank[p]) ** 2 for p in matched)
+        rho = 1 - 6 * d2 / (n * (n**2 - 1))
+        assert rho > 0.3, rho
+
+
+def test_open_hits_on_real_nets(c17_design, campaign):
+    nets = set(c17_design.mapped.nets) | {"VDD", "GND"}
+    internals = {t.source for t in c17_design.transistors} | {
+        t.drain for t in c17_design.transistors
+    }
+    for net in campaign.open_hits:
+        assert net in nets | internals
+
+
+def test_reproducible(c17_design):
+    a = sample_defects(c17_design, n_samples=2000, seed=11)
+    b = sample_defects(c17_design, n_samples=2000, seed=11)
+    assert a.bridge_hits == b.bridge_hits
+    assert a.open_hits == b.open_hits

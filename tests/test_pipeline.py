@@ -1,0 +1,77 @@
+"""Integration tests of the end-to-end experiment pipeline (small circuit)."""
+
+import math
+
+import pytest
+
+from repro.core import williams_brown
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.experiments.pipeline import scaled_weight_check
+
+
+@pytest.fixture(scope="module")
+def small_experiment():
+    return run_experiment(
+        ExperimentConfig(benchmark="c17", max_random_patterns=128, seed=7)
+    )
+
+
+def test_yield_scaled_to_target(small_experiment):
+    assert scaled_weight_check(small_experiment) == pytest.approx(0.75)
+    assert small_experiment.realistic_faults.predicted_yield() == pytest.approx(0.75)
+
+
+def test_stuck_at_coverage_complete(small_experiment):
+    # c17 is fully testable: no redundant faults, T reaches 1.
+    assert not small_experiment.redundant_faults
+    assert small_experiment.final_T == 1.0
+
+
+def test_series_shape(small_experiment):
+    rows = small_experiment.series()
+    assert rows[0][0] == 1
+    assert rows[-1][0] == len(small_experiment.test_patterns)
+    for k, T, theta, gamma, dl in rows:
+        assert 0 <= T <= 1 and 0 <= theta <= 1 and 0 <= gamma <= 1
+        assert dl == pytest.approx(williams_brown(0.75, theta))
+    # Monotone non-decreasing coverages.
+    for col in (1, 2, 3):
+        values = [row[col] for row in rows]
+        assert values == sorted(values)
+
+
+def test_dl_monotone_non_increasing(small_experiment):
+    dls = [row[4] for row in small_experiment.series()]
+    assert dls == sorted(dls, reverse=True)
+
+
+def test_fit_runs_and_is_sane(small_experiment):
+    fit = small_experiment.fit()
+    assert 0.1 <= fit.susceptibility_ratio <= 10.0
+    assert 0.5 <= fit.theta_max <= 1.0
+
+
+def test_memoisation_returns_same_object(small_experiment):
+    again = run_experiment(
+        ExperimentConfig(benchmark="c17", max_random_patterns=128, seed=7)
+    )
+    assert again is small_experiment
+
+
+def test_different_config_different_run(small_experiment):
+    other = run_experiment(
+        ExperimentConfig(benchmark="c17", max_random_patterns=64, seed=7)
+    )
+    assert other is not small_experiment
+
+
+def test_detection_technique_config():
+    strict = run_experiment(
+        ExperimentConfig(
+            benchmark="c17", max_random_patterns=128, seed=7, detection="voltage-strict"
+        )
+    )
+    default = run_experiment(
+        ExperimentConfig(benchmark="c17", max_random_patterns=128, seed=7)
+    )
+    assert strict.theta_max <= default.theta_max + 1e-12

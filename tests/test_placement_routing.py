@@ -1,0 +1,119 @@
+"""Unit tests for placement and routing."""
+
+import pytest
+
+from repro.circuit import c17, ripple_carry_adder
+from repro.layout import place, route, techmap
+from repro.layout.placement import POWER_MARGIN
+from repro.layout.routing import collect_pins
+
+
+@pytest.fixture(scope="module")
+def placed_rca():
+    mapped = techmap(ripple_carry_adder(4))
+    return mapped, place(mapped)
+
+
+def test_all_cells_placed(placed_rca):
+    mapped, placement = placed_rca
+    assert len(placement.cells) == mapped.gate_count
+
+
+def test_no_cell_overlap(placed_rca):
+    _, placement = placed_rca
+    for row in placement.rows:
+        ordered = sorted(row, key=lambda pc: pc.x)
+        for a, b in zip(ordered, ordered[1:]):
+            assert a.x + a.cell.width <= b.x + 1e-9
+
+
+def test_cells_avoid_lanes(placed_rca):
+    _, placement = placed_rca
+    for pc in placement.cells:
+        for lo, hi in placement.lanes:
+            assert pc.x + pc.cell.width <= lo + 1e-9 or pc.x >= hi - 1e-9
+
+
+def test_cells_respect_power_margin(placed_rca):
+    _, placement = placed_rca
+    assert all(pc.x >= POWER_MARGIN for pc in placement.cells)
+
+
+def test_rows_roughly_balanced(placed_rca):
+    _, placement = placed_rca
+    widths = [sum(pc.cell.width for pc in row) for row in placement.rows]
+    if len(widths) > 2:
+        assert max(widths[:-1]) <= 2.5 * min(widths[:-1])
+
+
+def test_collect_pins_covers_signal_nets(placed_rca):
+    mapped, placement = placed_rca
+    pins = collect_pins(placement)
+    # Every gate output and PI that is read must have pins.
+    for gate in mapped.gates:
+        assert gate.output in pins or gate.output not in {
+            n for g in mapped.gates for n in g.inputs
+        } | set(mapped.primary_outputs)
+    for net, refs in pins.items():
+        assert refs, net
+
+
+def test_routing_assigns_trunks_everywhere(placed_rca):
+    mapped, placement = placed_rca
+    plan = route(placement)
+    pins = collect_pins(placement)
+    for net, net_route in plan.nets.items():
+        rows = {p.row for p in net_route.pins}
+        assert set(net_route.trunks) == rows
+        if len(rows) > 1:
+            assert net_route.riser_x is not None
+        else:
+            assert net_route.riser_x is None
+
+
+def test_track_assignment_no_overlap(placed_rca):
+    _, placement = placed_rca
+    plan = route(placement)
+    per_channel_track: dict[tuple[int, int], list[tuple[float, float]]] = {}
+    for net_route in plan.nets.values():
+        for channel, (lo, hi, track) in net_route.trunks.items():
+            per_channel_track.setdefault((channel, track), []).append((lo, hi))
+    for intervals in per_channel_track.values():
+        intervals.sort()
+        for (lo1, hi1), (lo2, hi2) in zip(intervals, intervals[1:]):
+            assert hi1 < lo2  # disjoint with positive gap
+
+
+def test_channel_heights_positive(placed_rca):
+    _, placement = placed_rca
+    plan = route(placement)
+    for channel in range(placement.n_rows):
+        assert plan.channel_height(channel) > 0
+
+
+def test_riser_columns_distinct_when_overlapping(placed_rca):
+    _, placement = placed_rca
+    plan = route(placement)
+    risers = [
+        (nr.riser_x, nr.channels[0], nr.channels[-1])
+        for nr in plan.nets.values()
+        if nr.riser_x is not None
+    ]
+    for i, (x1, lo1, hi1) in enumerate(risers):
+        for x2, lo2, hi2 in risers[i + 1 :]:
+            if lo1 <= hi2 and lo2 <= hi1:  # vertical spans overlap
+                assert abs(x1 - x2) >= 3.5 - 1e-9
+
+
+def test_clusters_stay_in_one_row():
+    """Decomposition clusters (`base$k` instances) never straddle rows."""
+    from repro.circuit import parity_tree
+    from repro.layout import place, techmap
+
+    mapped = techmap(parity_tree(16))  # XOR-rich: many 4-NAND clusters
+    placement = place(mapped)
+    row_of = {}
+    for pc in placement.cells:
+        row_of.setdefault(pc.cell.instance.split("$")[0], set()).add(pc.row)
+    for base, rows in row_of.items():
+        assert len(rows) == 1, (base, rows)

@@ -1,0 +1,54 @@
+"""Unit tests for random-pattern generation with coverage tracking."""
+
+from repro.circuit import c17, parity_tree
+from repro.simulation import FaultSimulator, collapse_faults
+from repro.atpg import generate_random_tests
+
+
+def test_random_reaches_full_coverage_on_c17(c17_circuit):
+    result = generate_random_tests(
+        c17_circuit, target_coverage=1.0, max_patterns=512, seed=3
+    )
+    assert result.coverage == 1.0
+    assert not result.undetected
+    assert result.test_set.n_random == len(result.test_set)
+
+
+def test_coverage_accounting_consistent(c17_circuit):
+    faults = collapse_faults(c17_circuit)
+    result = generate_random_tests(c17_circuit, faults, target_coverage=0.8)
+    assert len(result.detected) + len(result.undetected) == len(faults)
+    sim = FaultSimulator(c17_circuit)
+    check = sim.run(result.test_set.patterns, faults=faults)
+    assert set(check.first_detection) == set(result.detected)
+
+
+def test_target_coverage_stops_early(c17_circuit):
+    low = generate_random_tests(c17_circuit, target_coverage=0.5, seed=3)
+    high = generate_random_tests(c17_circuit, target_coverage=1.0, seed=3)
+    assert low.coverage >= 0.5
+    assert len(low.test_set) <= len(high.test_set)
+
+
+def test_max_patterns_cap():
+    ckt = parity_tree(16)
+    result = generate_random_tests(
+        ckt, target_coverage=1.0, max_patterns=128, patience=10_000
+    )
+    assert len(result.test_set) <= 128
+
+
+def test_patience_terminates():
+    # A tiny patience stops generation quickly even short of target.
+    ckt = parity_tree(16)
+    result = generate_random_tests(
+        ckt, target_coverage=1.0, max_patterns=100_000, patience=64, seed=5
+    )
+    assert len(result.test_set) < 100_000
+
+
+def test_reproducible_with_seed(c17_circuit):
+    a = generate_random_tests(c17_circuit, seed=11)
+    b = generate_random_tests(c17_circuit, seed=11)
+    assert a.test_set.patterns == b.test_set.patterns
+    assert a.coverage == b.coverage

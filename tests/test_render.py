@@ -1,0 +1,57 @@
+"""Unit tests for the SVG layout renderer."""
+
+import pytest
+
+from repro.layout import Layer, Rect
+from repro.layout.render import LAYER_STYLE, render_svg
+
+
+def test_render_design(c17_design, tmp_path):
+    out = tmp_path / "c17.svg"
+    text = render_svg(c17_design, path=out)
+    assert out.exists()
+    assert text.startswith("<svg")
+    assert text.endswith("</svg>")
+    # Every populated layer produces a group.
+    layers_present = {s.layer for s in c17_design.shapes}
+    for layer in layers_present & set(LAYER_STYLE):
+        assert LAYER_STYLE[layer][0] in text
+
+
+def test_render_plain_shapes():
+    shapes = [
+        Rect(Layer.METAL1, 0, 0, 10, 2, "n1"),
+        Rect(Layer.METAL2, 0, 4, 10, 6, "n2"),
+    ]
+    text = render_svg(shapes, tooltips=True)
+    assert "<title>n1 [metal1]</title>" in text
+    assert text.count("<rect") == 3  # background + 2 shapes
+
+
+def test_render_tooltips_escape():
+    shapes = [Rect(Layer.POLY, 0, 0, 1, 1, "a<b&c")]
+    text = render_svg(shapes)
+    assert "a&lt;b&amp;c" in text
+
+
+def test_render_no_tooltips():
+    shapes = [Rect(Layer.METAL1, 0, 0, 1, 1, "n1")]
+    assert "<title>" not in render_svg(shapes, tooltips=False)
+
+
+def test_render_empty_rejected():
+    with pytest.raises(ValueError):
+        render_svg([])
+
+
+def test_y_axis_flipped():
+    # The shape at larger y must appear at smaller SVG y (drawn higher up).
+    low = Rect(Layer.METAL1, 0, 0, 1, 1, "low")
+    high = Rect(Layer.METAL1, 0, 9, 1, 10, "high")
+    text = render_svg([low, high], tooltips=True, scale=1.0)
+    y_of = {}
+    for line in text.splitlines():
+        for name in ("low", "high"):
+            if f"<title>{name} " in line:
+                y_of[name] = float(line.split('y="')[1].split('"')[0])
+    assert y_of["high"] < y_of["low"]

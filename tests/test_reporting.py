@@ -1,0 +1,57 @@
+"""Unit tests for ASCII reporting helpers."""
+
+import pytest
+
+from repro.experiments import format_histogram, format_series_plot, format_table
+
+
+def test_format_table_alignment():
+    text = format_table(
+        ["name", "value"],
+        [["alpha", 1.5], ["b", 0.000012]],
+        title="demo",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert "alpha" in lines[3]
+    assert "1.200e-05" in text  # tiny floats rendered scientifically
+
+
+def test_format_table_empty_rows():
+    text = format_table(["a", "b"], [])
+    assert "a" in text
+
+
+def test_format_histogram():
+    text = format_histogram([0, 1, 2], [3, 6], label="weights")
+    lines = text.splitlines()
+    assert lines[0] == "weights"
+    assert len(lines) == 3
+    # The peak bin has the longest bar.
+    assert lines[2].count("#") > lines[1].count("#")
+
+
+def test_format_histogram_validation():
+    with pytest.raises(ValueError):
+        format_histogram([0, 1], [1, 2])
+
+
+def test_format_series_plot():
+    series = {
+        "up": [(0.0, 0.0), (1.0, 1.0)],
+        "down": [(0.0, 1.0), (1.0, 0.0)],
+    }
+    text = format_series_plot(series, x_label="x", y_label="y")
+    assert "legend" in text
+    assert "o=up" in text and "x=down" in text
+
+
+def test_format_series_plot_log_scale():
+    series = {"dl": [(0.1, 1e-4), (0.9, 1e-1)]}
+    text = format_series_plot(series, "T", "DL", log_y=True)
+    assert "log10" in text
+
+
+def test_format_series_plot_empty():
+    assert format_series_plot({}, "x", "y") == "(no data)"

@@ -1,0 +1,64 @@
+"""Unit tests for the spatial index."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.layout import Layer, Rect, SpatialIndex
+
+
+def _random_shapes(n: int, seed: int = 5, span: float = 200.0) -> list[Rect]:
+    rng = random.Random(seed)
+    shapes = []
+    for _ in range(n):
+        x = rng.uniform(0, span)
+        y = rng.uniform(0, span)
+        w = rng.uniform(0.5, 8)
+        h = rng.uniform(0.5, 8)
+        shapes.append(Rect(Layer.METAL1, x, y, x + w, y + h))
+    return shapes
+
+
+def test_near_finds_all_intersecting():
+    shapes = _random_shapes(150)
+    index = SpatialIndex(shapes, cell_size=20)
+    probe = Rect(Layer.METAL1, 90, 90, 110, 110)
+    brute = [s for s in shapes if s.intersects(probe)]
+    near = index.near(probe)
+    for s in brute:
+        assert s in near
+
+
+def test_candidate_pairs_superset_of_touching():
+    shapes = _random_shapes(120, seed=9)
+    index = SpatialIndex(shapes, cell_size=15)
+    pairs = set()
+    for a, b in index.candidate_pairs():
+        pairs.add((id(a), id(b)))
+        pairs.add((id(b), id(a)))
+    for a, b in itertools.combinations(shapes, 2):
+        if a.intersects(b):
+            assert (id(a), id(b)) in pairs
+
+
+def test_candidate_pairs_margin_covers_near_misses():
+    a = Rect(Layer.METAL1, 0, 0, 1, 1)
+    b = Rect(Layer.METAL1, 30, 0, 31, 1)  # 29 apart
+    index = SpatialIndex([a, b], cell_size=10)
+    plain = list(index.candidate_pairs())
+    wide = list(index.candidate_pairs(margin=30))
+    assert (a, b) not in plain and (b, a) not in plain
+    assert len(wide) == 1
+
+
+def test_pairs_emitted_once():
+    shapes = [Rect(Layer.METAL1, 0, 0, 50, 50) for _ in range(3)]
+    index = SpatialIndex(shapes, cell_size=10)
+    pairs = list(index.candidate_pairs())
+    assert len(pairs) == 3  # C(3,2), despite sharing many buckets
+
+
+def test_invalid_cell_size():
+    with pytest.raises(ValueError):
+        SpatialIndex([], cell_size=0)

@@ -1,0 +1,108 @@
+"""Unit tests for cell drive strengths and the tap solver."""
+
+import pytest
+
+from repro.circuit import GateType
+from repro.switchsim import (
+    N_STRENGTH,
+    P_STRENGTH,
+    cell_conductances,
+    divider_value,
+    resolve_contention,
+    solve_with_tap,
+)
+
+
+def test_inverter_conductances():
+    assert cell_conductances(GateType.NOT, (0,)) == (P_STRENGTH, 0.0)
+    assert cell_conductances(GateType.NOT, (1,)) == (0.0, N_STRENGTH)
+
+
+def test_nand_conductances():
+    # All inputs high: series chain conducts at g/n; no pull-up.
+    up, down = cell_conductances(GateType.NAND, (1, 1, 1))
+    assert up == 0.0
+    assert down == pytest.approx(N_STRENGTH / 3)
+    # One input low: chain broken, one PMOS pulls up.
+    up, down = cell_conductances(GateType.NAND, (0, 1, 1))
+    assert up == pytest.approx(P_STRENGTH)
+    assert down == 0.0
+    # All low: every PMOS in parallel.
+    up, down = cell_conductances(GateType.NAND, (0, 0, 0))
+    assert up == pytest.approx(3 * P_STRENGTH)
+
+
+def test_nor_conductances():
+    up, down = cell_conductances(GateType.NOR, (0, 0))
+    assert up == pytest.approx(P_STRENGTH / 2)
+    assert down == 0.0
+    up, down = cell_conductances(GateType.NOR, (1, 1))
+    assert up == 0.0
+    assert down == pytest.approx(2 * N_STRENGTH)
+
+
+def test_mods_force_devices():
+    # NMOS 0 forced on in a NAND2 with the other input high: chain conducts.
+    up, down = cell_conductances(GateType.NAND, (0, 1), n_mods={0: "on"})
+    assert down == pytest.approx(N_STRENGTH / 2)
+    assert up == pytest.approx(P_STRENGTH)  # contention
+    # Absent device kills the chain.
+    up, down = cell_conductances(GateType.NAND, (1, 1), n_mods={1: "absent"})
+    assert down == 0.0
+    assert up == 0.0  # floating output
+
+
+def test_x_inputs_rejected():
+    with pytest.raises(ValueError):
+        cell_conductances(GateType.NAND, (1, 2))
+
+
+def test_divider_and_contention():
+    assert resolve_contention(3.0, 0.0) == 1
+    assert resolve_contention(0.0, 3.0) == 0
+    assert resolve_contention(0.0, 0.0) == 2  # X / floating
+    # Near-balanced fight is X.
+    assert resolve_contention(1.0, 1.02) == 2
+    # Exactly balanced resolves low (wired-AND).
+    assert resolve_contention(1.0, 1.0) == 0
+    # Decisive fights resolve.
+    assert resolve_contention(4.0, 1.5) == 1
+    assert resolve_contention(1.5, 4.0) == 0
+
+
+def test_divider_multi_driver():
+    assert divider_value([(10.0, 1.0), (1.0, 0.0)]) == 1
+    assert divider_value([(1.0, 1.0), (10.0, 0.0)]) == 0
+    assert divider_value([]) == 2
+
+
+def test_tap_solver_matches_healthy_inverter():
+    # Weak tap should not flip a driven inverter output.
+    out, tap = solve_with_tap(GateType.NOT, (0,), 0, 0.0, 0.01)
+    assert out == 1
+    # Overwhelming tap drags the output to its value.
+    out, tap = solve_with_tap(GateType.NOT, (0,), 0, 0.0, 1e4)
+    assert out == 0
+
+
+def test_tap_internal_nand_node():
+    # NAND2 with inputs (1, 1): output low via the chain; tying the internal
+    # chain node high with a strong external driver fights the chain.
+    out_weak, tap_weak = solve_with_tap(GateType.NAND, (1, 1), 1, 1.0, 0.01)
+    assert out_weak == 0
+    out_strong, tap_strong = solve_with_tap(GateType.NAND, (1, 1), 1, 1.0, 1e5)
+    assert tap_strong == 1  # the tap holds its node
+
+
+def test_tap_floating_node_is_x():
+    # NAND2 with inputs (0, 0): chain off; internal node floats when the tap
+    # is attached to the output instead.
+    out, tap = solve_with_tap(GateType.NAND, (0, 0), 1, 1.0, 0.0)
+    assert tap == 2  # internal node undriven -> X
+    assert out == 1  # output still pulled up
+
+
+def test_tap_solver_caches():
+    a = solve_with_tap(GateType.NOR, (0, 1), 0, 1.0, 2.0)
+    b = solve_with_tap(GateType.NOR, (0, 1), 0, 1.0, 2.0)
+    assert a == b

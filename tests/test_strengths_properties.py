@@ -1,0 +1,79 @@
+"""Property-based tests for the cell strength model."""
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuit import GateType
+from repro.circuit.library import evaluate_gate
+from repro.switchsim import cell_conductances, resolve_contention
+
+_FAMILIES = [GateType.NOT, GateType.NAND, GateType.NOR]
+
+
+@given(
+    gt=st.sampled_from(_FAMILIES),
+    n=st.integers(min_value=1, max_value=4),
+    code=st.integers(min_value=0, max_value=15),
+)
+def test_healthy_cell_drives_its_logic_value(gt, n, code):
+    """A fault-free cell's conductances resolve to its boolean function."""
+    if gt is GateType.NOT:
+        n = 1
+    elif n < 2:
+        n = 2
+    inputs = tuple((code >> i) & 1 for i in range(n))
+    up, down = cell_conductances(gt, inputs)
+    expected = evaluate_gate(gt, list(inputs))
+    # Exactly one network conducts.
+    assert (up > 0) != (down > 0)
+    assert resolve_contention(up, down) == expected
+
+
+@given(
+    gt=st.sampled_from([GateType.NAND, GateType.NOR]),
+    n=st.integers(min_value=2, max_value=4),
+    code=st.integers(min_value=0, max_value=15),
+    index=st.integers(min_value=0, max_value=3),
+)
+def test_forcing_a_device_on_never_reduces_conductance(gt, n, code, index):
+    index %= n
+    inputs = tuple((code >> i) & 1 for i in range(n))
+    base_up, base_down = cell_conductances(gt, inputs)
+    for mods in ({"n_mods": {index: "on"}}, {"p_mods": {index: "on"}}):
+        up, down = cell_conductances(gt, inputs, **mods)
+        assert up >= base_up - 1e-12
+        assert down >= base_down - 1e-12
+
+
+@given(
+    gt=st.sampled_from([GateType.NAND, GateType.NOR]),
+    n=st.integers(min_value=2, max_value=4),
+    code=st.integers(min_value=0, max_value=15),
+    index=st.integers(min_value=0, max_value=3),
+)
+def test_removing_a_device_never_increases_conductance(gt, n, code, index):
+    index %= n
+    inputs = tuple((code >> i) & 1 for i in range(n))
+    base_up, base_down = cell_conductances(gt, inputs)
+    for mods in ({"n_mods": {index: "absent"}}, {"p_mods": {index: "absent"}}):
+        up, down = cell_conductances(gt, inputs, **mods)
+        assert up <= base_up + 1e-12
+        assert down <= base_down + 1e-12
+
+
+def test_nand_nor_duality():
+    """NAND's pull-down mirrors NOR's pull-up at complemented inputs."""
+    from repro.switchsim import N_STRENGTH, P_STRENGTH
+
+    for n in (2, 3, 4):
+        for inputs in itertools.product([0, 1], repeat=n):
+            complemented = tuple(1 - v for v in inputs)
+            nand_up, nand_down = cell_conductances(GateType.NAND, inputs)
+            nor_up, nor_down = cell_conductances(GateType.NOR, complemented)
+            # Series side conducts in both or neither.
+            assert (nand_down > 0) == (nor_up > 0)
+            # Parallel side: same device count, scaled by polarity strength.
+            assert nand_up / P_STRENGTH == pytest.approx(nor_down / N_STRENGTH)

@@ -1,0 +1,84 @@
+"""Focused switch-level tests: internal-node bridges and supply breaks."""
+
+import pytest
+
+from repro.atpg import random_patterns
+from repro.defects import BridgeFault, FloatingNetFault
+from repro.layout.cells import GND, VDD
+from repro.switchsim import SwitchLevelFaultSimulator
+
+
+@pytest.fixture(scope="module")
+def sim(c17_design):
+    return SwitchLevelFaultSimulator(
+        c17_design, random_patterns(5, 128, seed=14)
+    )
+
+
+def _internal_net(design, polarity="n"):
+    """Pick a chain-internal net from any multi-input cell."""
+    for t in design.transistors:
+        for net in (t.source, t.drain):
+            if "#" in net:
+                return net
+    raise AssertionError("no internal nets found")
+
+
+def test_internal_bridge_to_supply(c17_design, sim):
+    internal = _internal_net(c17_design)
+    det = sim._dispatch(BridgeFault(weight=1.0, net_a=internal, net_b=VDD))
+    # Tying a NAND chain node to VDD fights the chain: at least IDDQ fires.
+    assert det.iddq is not None
+
+
+def test_internal_bridge_to_signal(c17_design, sim):
+    internal = _internal_net(c17_design)
+    other = c17_design.mapped.primary_inputs[0]
+    det = sim._dispatch(BridgeFault(weight=1.0, net_a=internal, net_b=other))
+    # Must complete without error and produce consistent ordering.
+    if det.strict is not None:
+        assert det.potential is not None
+        assert det.potential <= det.strict
+
+
+def test_internal_to_internal_bridge_iddq_only(c17_design, sim):
+    nets = []
+    for t in c17_design.transistors:
+        for net in (t.source, t.drain):
+            if "#" in net and net not in nets:
+                nets.append(net)
+        if len(nets) >= 2:
+            break
+    det = sim._dispatch(BridgeFault(weight=1.0, net_a=nets[0], net_b=nets[1]))
+    assert det.strict is None
+    assert det.iddq == 1
+
+
+def test_supply_break_stuck_open(c17_design, sim):
+    """A rail break severing a cell's GND supply = its NMOS stuck open."""
+    cell = c17_design.mapped.gates[0]
+    n_devices = tuple(
+        t.name
+        for t in c17_design.transistors
+        if t.name.startswith(cell.name + ".") and t.polarity == "n"
+    )
+    fault = FloatingNetFault(weight=1.0, net=GND, stuck_open=n_devices)
+    det = sim._dispatch(fault)
+    # The cell can no longer pull low: detected once the output must fall.
+    assert det.strict is not None
+    assert det.iddq is None
+
+
+def test_unknown_instance_handled(sim):
+    det = sim._dispatch(
+        BridgeFault(weight=1.0, net_a="ghost#n1", net_b="G1")
+    )
+    assert det.strict is None and det.potential is None
+
+
+def test_dispatch_rejects_unknown_class(sim):
+    class Mystery:
+        weight = 1.0
+
+    with pytest.raises(TypeError):
+        sim._dispatch(Mystery())

@@ -1,0 +1,103 @@
+"""Unit tests for technology mapping onto the physical cell library."""
+
+import random
+
+import pytest
+
+from repro.circuit import Circuit, GateType, c17, c432_like, parity_tree, ripple_carry_adder
+from repro.layout.techmap import MAX_CELL_FANIN, techmap
+from repro.simulation import LogicSimulator
+
+_PHYSICAL = {GateType.NOT, GateType.NAND, GateType.NOR}
+
+
+def _assert_equivalent(original: Circuit, mapped: Circuit, samples: int = 200):
+    sim_a = LogicSimulator(original)
+    sim_b = LogicSimulator(mapped)
+    rng = random.Random(13)
+    n = len(original.primary_inputs)
+    for _ in range(samples):
+        vec = [rng.randint(0, 1) for _ in range(n)]
+        assert sim_a.outputs(vec) == sim_b.outputs(vec)
+
+
+@pytest.mark.parametrize(
+    "builder",
+    [c17, lambda: ripple_carry_adder(4), lambda: parity_tree(6), c432_like],
+)
+def test_mapping_preserves_function(builder):
+    original = builder()
+    mapped = techmap(original)
+    assert mapped.primary_inputs == original.primary_inputs
+    assert mapped.primary_outputs == original.primary_outputs
+    _assert_equivalent(original, mapped)
+
+
+def test_only_physical_gates():
+    mapped = techmap(c432_like())
+    for gate in mapped.gates:
+        assert gate.gate_type in _PHYSICAL
+        assert len(gate.inputs) <= MAX_CELL_FANIN
+
+
+def test_wide_gate_decomposition():
+    ckt = Circuit(name="wide")
+    inputs = [ckt.add_input(f"i{i}") for i in range(9)]
+    ckt.add_gate(GateType.AND, inputs, "z")
+    ckt.add_output("z")
+    mapped = techmap(ckt)
+    for gate in mapped.gates:
+        assert len(gate.inputs) <= MAX_CELL_FANIN
+    _assert_equivalent(ckt, mapped, samples=512)
+
+
+def test_wide_nor_decomposition():
+    ckt = Circuit(name="widenor")
+    inputs = [ckt.add_input(f"i{i}") for i in range(7)]
+    ckt.add_gate(GateType.NOR, inputs, "z")
+    ckt.add_output("z")
+    mapped = techmap(ckt)
+    _assert_equivalent(ckt, mapped, samples=128)
+
+
+def test_xor_uses_four_nands():
+    ckt = Circuit(name="x2")
+    ckt.add_input("a")
+    ckt.add_input("b")
+    ckt.add_gate(GateType.XOR, ["a", "b"], "z")
+    ckt.add_output("z")
+    mapped = techmap(ckt)
+    assert len(mapped.gates) == 4
+    assert all(g.gate_type is GateType.NAND for g in mapped.gates)
+    _assert_equivalent(ckt, mapped, samples=4)
+
+
+def test_xnor_and_buf():
+    ckt = Circuit(name="misc")
+    ckt.add_input("a")
+    ckt.add_input("b")
+    ckt.add_gate(GateType.XNOR, ["a", "b"], "x")
+    ckt.add_gate(GateType.BUF, ["x"], "z")
+    ckt.add_output("z")
+    mapped = techmap(ckt)
+    _assert_equivalent(ckt, mapped, samples=4)
+
+
+def test_multi_input_xor():
+    ckt = Circuit(name="x4")
+    inputs = [ckt.add_input(f"i{i}") for i in range(4)]
+    ckt.add_gate(GateType.XOR, inputs, "z")
+    ckt.add_output("z")
+    mapped = techmap(ckt)
+    _assert_equivalent(ckt, mapped, samples=16)
+
+
+def test_original_net_names_preserved():
+    original = c17()
+    mapped = techmap(original)
+    original_nets = set(original.nets)
+    mapped_nets = set(mapped.nets)
+    assert original_nets <= mapped_nets
+    # Decomposition-internal nets are suffixed with '$'.
+    for net in mapped_nets - original_nets:
+        assert "$" in net

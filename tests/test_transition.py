@@ -1,0 +1,99 @@
+"""Unit tests for the transition (gate-delay) fault model."""
+
+import pytest
+
+from repro.circuit import Circuit, GateType, c17
+from repro.simulation import LogicSimulator
+from repro.simulation.transition import (
+    TransitionFault,
+    TransitionFaultSimulator,
+    transition_universe,
+)
+
+
+def test_universe_size(c17_circuit):
+    universe = transition_universe(c17_circuit)
+    assert len(universe) == 2 * len(c17_circuit.nets)
+    assert len(set(universe)) == len(universe)
+
+
+def test_slow_to_validation():
+    with pytest.raises(ValueError):
+        TransitionFault("n", 2)
+    assert str(TransitionFault("n", 1)) == "n/STR"
+    assert str(TransitionFault("n", 0)) == "n/STF"
+
+
+def _buffer_chain():
+    ckt = Circuit(name="buf")
+    ckt.add_input("a")
+    ckt.add_gate(GateType.BUF, ["a"], "z")
+    ckt.add_output("z")
+    return ckt
+
+
+def test_known_pair_detection():
+    ckt = _buffer_chain()
+    sim = TransitionFaultSimulator(ckt)
+    str_fault = TransitionFault("a", 1)
+    stf_fault = TransitionFault("a", 0)
+
+    # 0 -> 1 on vector 2 launches and detects the slow-to-rise.
+    result = sim.run([[0], [1], [0]], faults=[str_fault, stf_fault])
+    assert result.first_detection[str_fault] == 2
+    # 1 -> 0 on vector 3 detects the slow-to-fall.
+    assert result.first_detection[stf_fault] == 3
+
+
+def test_first_vector_never_detects():
+    ckt = _buffer_chain()
+    sim = TransitionFaultSimulator(ckt)
+    result = sim.run([[1]], faults=[TransitionFault("a", 1)])
+    assert not result.first_detection
+
+
+def test_constant_sequence_detects_nothing():
+    ckt = _buffer_chain()
+    sim = TransitionFaultSimulator(ckt)
+    result = sim.run([[1]] * 20)
+    assert not result.first_detection
+
+
+def test_group_boundary_pairs():
+    """Launch/capture pairs straddling the 64-pattern word boundary work."""
+    ckt = _buffer_chain()
+    sim = TransitionFaultSimulator(ckt)
+    patterns = [[0]] * 64 + [[1]] + [[0]] * 5
+    result = sim.run(patterns, faults=[TransitionFault("a", 1)])
+    assert result.first_detection[TransitionFault("a", 1)] == 65
+
+
+def test_coverage_on_c17(c17_circuit):
+    from repro.atpg import random_patterns
+
+    sim = TransitionFaultSimulator(c17_circuit)
+    result = sim.run(random_patterns(5, 300, seed=6))
+    # Transition coverage grows but is slower than stuck-at coverage.
+    assert 0.8 <= result.coverage <= 1.0
+    assert result.coverage_at(10) <= result.coverage_at(100) <= result.coverage
+
+
+def test_transition_detection_cross_checked(c17_circuit):
+    """Each reported detection satisfies the launch+capture definition."""
+    from repro.atpg import random_patterns
+    from repro.simulation import FaultSimulator, StuckAtFault
+
+    patterns = random_patterns(5, 100, seed=8)
+    sim = TransitionFaultSimulator(c17_circuit)
+    logic = LogicSimulator(c17_circuit)
+    stuck = FaultSimulator(c17_circuit)
+    result = sim.run(patterns)
+    for fault, k in result.first_detection.items():
+        assert k >= 2
+        before = logic.simulate(patterns[k - 2])[fault.net]
+        after = logic.simulate(patterns[k - 1])[fault.net]
+        assert before == 1 - fault.slow_to
+        assert after == fault.slow_to
+        assert stuck.detects(
+            StuckAtFault(fault.net, 1 - fault.slow_to), patterns[k - 1]
+        )
