@@ -3,10 +3,14 @@
 Usage::
 
     python -m repro [benchmark] [--svg layout.svg] [--technique voltage]
+                    [--seed N] [--max-random-patterns N]
+                    [--profile] [--trace run.jsonl]
 
 Prints the coverage-growth table (fig. 4), the defect-level comparison
 (fig. 5) and the fitted eq.-11 parameters; optionally renders the generated
-layout to SVG.
+layout to SVG.  ``--profile`` prints a per-stage timing tree and a metric
+table after the run; ``--trace FILE`` appends a JSON-lines run manifest
+(config hash, stage durations, metrics, fitted parameters) to ``FILE``.
 """
 
 from __future__ import annotations
@@ -14,12 +18,18 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import obs
 from repro.circuit.iscas import BENCHMARKS
 from repro.core import ppm, williams_brown
-from repro.experiments import ExperimentConfig, format_table, run_experiment
+from repro.experiments import (
+    ExperimentConfig,
+    cache_info,
+    format_table,
+    run_experiment,
+)
 
 
-def main(argv: list[str] | None = None) -> int:
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduce the DATE'94 defect-level experiment.",
@@ -45,17 +55,71 @@ def main(argv: list[str] | None = None) -> int:
         help="yield to scale the fault weights to (default: 0.75)",
     )
     parser.add_argument(
+        "--seed",
+        type=int,
+        default=ExperimentConfig.seed,
+        help=f"PRNG seed for the random prefix (default: {ExperimentConfig.seed})",
+    )
+    parser.add_argument(
+        "--max-random-patterns",
+        type=int,
+        default=ExperimentConfig.max_random_patterns,
+        help=(
+            "cap on random vectors before the PODEM top-off "
+            f"(default: {ExperimentConfig.max_random_patterns})"
+        ),
+    )
+    parser.add_argument(
         "--svg", metavar="FILE", help="also render the layout to this SVG file"
     )
-    args = parser.parse_args(argv)
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a per-stage timing tree and metric table after the run",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="append a JSON-lines run manifest to FILE",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.trace:
+        # Fail fast on an unwritable sink rather than after a full run.
+        try:
+            with open(args.trace, "a", encoding="utf-8"):
+                pass
+        except OSError as exc:
+            print(f"error: cannot write trace file {args.trace}: {exc}", file=sys.stderr)
+            return 2
+
+    instrumented = args.profile or args.trace
+    if instrumented:
+        collector, metrics = obs.enable()
 
     config = ExperimentConfig(
         benchmark=args.benchmark,
         target_yield=args.target_yield,
         detection=args.technique,
+        seed=args.seed,
+        max_random_patterns=args.max_random_patterns,
     )
     print(f"running pipeline on {args.benchmark} (Y = {args.target_yield})...")
+    hits_before = cache_info().hits
     result = run_experiment(config)
+    cache_status = "hit" if cache_info().hits > hits_before else "miss"
+    print(
+        f"pipeline cache: {cache_status} "
+        + (
+            "(reusing memoised result)"
+            if cache_status == "hit"
+            else "(full run)"
+        )
+    )
 
     if args.svg:
         from repro.layout.render import render_svg
@@ -86,14 +150,42 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     fit = result.fit()
+    final_dl = result.dl_at(result.sample_ks[-1])
     print(
         f"\nfit of eq. 11:  R = {fit.susceptibility_ratio:.2f}, "
         f"theta_max = {fit.theta_max:.3f}  (paper: 1.9 / 0.96)"
     )
     print(
         f"measured theta_max = {result.theta_max:.3f}; residual DL = "
-        f"{ppm(result.dl_at(result.sample_ks[-1])):.0f} ppm"
+        f"{ppm(final_dl):.0f} ppm"
     )
+
+    if args.profile:
+        print("\n" + obs.render_profile(collector, metrics))
+
+    if args.trace:
+        manifest = obs.RunManifest.from_run(
+            config,
+            collector=collector,
+            registry=metrics,
+            cache=cache_status,
+            results={
+                "R": fit.susceptibility_ratio,
+                "theta_max_fit": fit.theta_max,
+                "fit_residual": fit.residual,
+                "theta_max_measured": result.theta_max,
+                "final_T": result.final_T,
+                "final_theta": result.theta_at(result.sample_ks[-1]),
+                "final_DL": final_dl,
+                "n_patterns": len(result.test_patterns),
+                "n_random": result.n_random,
+            },
+        )
+        n_records = manifest.write(args.trace)
+        print(f"\nmanifest ({n_records} records) appended to {args.trace}")
+
+    if instrumented:
+        obs.disable()
     return 0
 
 

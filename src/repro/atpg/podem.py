@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.atpg.patterns import TestSet
 from repro.circuit.levelize import levelize
 from repro.circuit.library import GateType
@@ -463,22 +464,32 @@ def generate_deterministic_tests(
         test_set=TestSet(n_inputs=len(circuit.primary_inputs))
     )
     remaining = list(faults)
-    while remaining:
-        target = remaining.pop(0)
-        outcome = atpg.generate(target, fill=fill)
-        if outcome.status == AtpgStatus.REDUNDANT:
-            result.redundant.append(target)
-            continue
-        if outcome.status == AtpgStatus.ABORTED:
-            result.aborted.append(target)
-            continue
-        vector = outcome.pattern
-        assert vector is not None
-        result.test_set.append(vector, "deterministic")
-        result.tested.append(target)
-        if remaining:
-            sim = simulator.run([vector], faults=remaining, drop_detected=False)
-            dropped = set(sim.first_detection)
-            result.tested.extend(f for f in remaining if f in dropped)
-            remaining = [f for f in remaining if f not in dropped]
+    with obs.span("atpg.podem", n_targets=len(remaining)) as podem_span:
+        while remaining:
+            target = remaining.pop(0)
+            outcome = atpg.generate(target, fill=fill)
+            obs.inc("podem.backtracks", outcome.backtracks)
+            if outcome.status == AtpgStatus.REDUNDANT:
+                obs.inc("podem.redundant")
+                result.redundant.append(target)
+                continue
+            if outcome.status == AtpgStatus.ABORTED:
+                obs.inc("podem.aborted")
+                result.aborted.append(target)
+                continue
+            obs.inc("podem.tested")
+            vector = outcome.pattern
+            assert vector is not None
+            result.test_set.append(vector, "deterministic")
+            result.tested.append(target)
+            if remaining:
+                sim = simulator.run([vector], faults=remaining, drop_detected=False)
+                dropped = set(sim.first_detection)
+                result.tested.extend(f for f in remaining if f in dropped)
+                remaining = [f for f in remaining if f not in dropped]
+        podem_span.set(
+            n_vectors=len(result.test_set),
+            n_redundant=len(result.redundant),
+            n_aborted=len(result.aborted),
+        )
     return result

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.circuit.netlist import Circuit
 from repro.simulation.fault_sim import FaultSimulator
 from repro.simulation.faults import StuckAtFault, collapse_faults
@@ -79,28 +80,34 @@ def generate_random_tests(
 
     batch = 64
     generated = 0
-    while (
-        remaining
-        and generated < max_patterns
-        and useless_run < patience
-        and (total == 0 or len(detected) / total < target_coverage)
-    ):
-        n_here = min(batch, max_patterns - generated)
-        vectors = random_patterns(n_inputs, n_here, seed=seed + generated)
-        generated += n_here
-        result = simulator.run(vectors, faults=remaining)
-        test_set.extend(vectors, "random")
-        if result.first_detection:
-            # Count the useless tail of this batch for patience accounting.
-            last_hit = max(result.first_detection.values())
-            useless_run = n_here - last_hit
-            hits = set(result.first_detection)
-            detected.extend(f for f in remaining if f in hits)
-            remaining = [f for f in remaining if f not in hits]
-        else:
-            useless_run += n_here
+    with obs.span(
+        "atpg.random", n_faults=total, target_coverage=target_coverage
+    ) as random_span:
+        while (
+            remaining
+            and generated < max_patterns
+            and useless_run < patience
+            and (total == 0 or len(detected) / total < target_coverage)
+        ):
+            n_here = min(batch, max_patterns - generated)
+            vectors = random_patterns(n_inputs, n_here, seed=seed + generated)
+            generated += n_here
+            result = simulator.run(vectors, faults=remaining)
+            test_set.extend(vectors, "random")
+            if result.first_detection:
+                # Count the useless tail of this batch for patience accounting.
+                last_hit = max(result.first_detection.values())
+                useless_run = n_here - last_hit
+                hits = set(result.first_detection)
+                detected.extend(f for f in remaining if f in hits)
+                remaining = [f for f in remaining if f not in hits]
+            else:
+                useless_run += n_here
 
-    coverage = 1.0 if total == 0 else len(detected) / total
+        coverage = 1.0 if total == 0 else len(detected) / total
+        random_span.set(n_patterns=generated, coverage=round(coverage, 4))
+    obs.inc("random_atpg.patterns_generated", generated)
+    obs.inc("random_atpg.faults_detected", len(detected))
     return RandomAtpgResult(
         test_set=test_set,
         detected=detected,

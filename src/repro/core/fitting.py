@@ -15,6 +15,7 @@ from typing import Sequence
 import numpy as np
 from scipy.optimize import curve_fit, least_squares
 
+from repro import obs
 from repro.core.coverage_growth import coverage_at
 from repro.core.defect_level import agrawal, sousa_defect_level
 
@@ -72,20 +73,25 @@ def fit_sousa_model(
         theta_model = theta_max * (1.0 - np.power(np.clip(1.0 - T, 0.0, 1.0), r))
         return theta_model - theta_obs
 
-    result = least_squares(
-        residuals,
-        x0=np.array([1.5, 0.95]),
-        bounds=(
-            np.array([r_bounds[0], theta_bounds[0]]),
-            np.array([r_bounds[1], theta_bounds[1]]),
-        ),
-    )
+    with obs.span("fitting.sousa", n_points=int(T.size)):
+        result = least_squares(
+            residuals,
+            x0=np.array([1.5, 0.95]),
+            bounds=(
+                np.array([r_bounds[0], theta_bounds[0]]),
+                np.array([r_bounds[1], theta_bounds[1]]),
+            ),
+        )
     r_fit, theta_fit = result.x
-    return SousaFit(
+    fit = SousaFit(
         susceptibility_ratio=float(r_fit),
         theta_max=float(theta_fit),
         residual=float(np.sqrt(np.mean(result.fun**2))),
     )
+    obs.set_gauge("fitting.R", fit.susceptibility_ratio)
+    obs.set_gauge("fitting.theta_max", fit.theta_max)
+    obs.set_gauge("fitting.residual", fit.residual)
+    return fit
 
 
 @dataclass(frozen=True)

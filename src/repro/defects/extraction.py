@@ -22,6 +22,7 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.defects.critical_area import average_critical_area
 from repro.defects.fault_types import (
     BridgeFault,
@@ -88,9 +89,21 @@ class FaultExtractor:
     def extract(self) -> FaultList:
         """Run all extraction passes and return the aggregated fault list."""
         faults = FaultList()
-        self.extract_bridges(faults)
-        self.extract_oxide_shorts(faults)
-        self.extract_opens(faults)
+        with obs.span(
+            "defects.extract", n_shapes=len(self.shapes)
+        ) as extract_span:
+            with obs.span("defects.extract.bridges"):
+                self.extract_bridges(faults)
+            with obs.span("defects.extract.oxide_shorts"):
+                self.extract_oxide_shorts(faults)
+            with obs.span("defects.extract.opens"):
+                self.extract_opens(faults)
+            extract_span.set(n_faults=len(faults))
+        obs.inc("extraction.faults_extracted", len(faults))
+        if obs.is_enabled():
+            for fault in faults:
+                obs.observe("extraction.weights", fault.weight)
+                obs.inc(f"extraction.{type(fault).__name__}")
         return faults
 
     # ------------------------------------------------------------------

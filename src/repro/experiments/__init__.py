@@ -14,6 +14,7 @@ from repro.experiments.figures import (
 from repro.experiments.pipeline import (
     ExperimentConfig,
     ExperimentResult,
+    cache_info,
     run_experiment,
 )
 from repro.experiments.reporting import (
@@ -25,6 +26,7 @@ from repro.experiments.reporting import (
 __all__ = [
     "ExperimentConfig",
     "ExperimentResult",
+    "cache_info",
     "FigureData",
     "example1_required_coverage",
     "example2_residual_dl",

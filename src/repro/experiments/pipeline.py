@@ -25,6 +25,7 @@ import math
 from dataclasses import dataclass, field
 from functools import lru_cache
 
+from repro import obs
 from repro.atpg.podem import generate_deterministic_tests
 from repro.atpg.random_atpg import generate_random_tests
 from repro.circuit.iscas import load_benchmark
@@ -40,7 +41,7 @@ from repro.simulation.faults import StuckAtFault, collapse_faults
 from repro.switchsim.coverage import CoverageCurves, build_coverage
 from repro.switchsim.simulator import SwitchLevelFaultSimulator, SwitchSimResult
 
-__all__ = ["ExperimentConfig", "ExperimentResult", "run_experiment"]
+__all__ = ["ExperimentConfig", "ExperimentResult", "run_experiment", "cache_info"]
 
 
 @dataclass(frozen=True)
@@ -156,47 +157,62 @@ def _sample_ks(n_patterns: int) -> list[int]:
 
 @lru_cache(maxsize=8)
 def _run_cached(config: ExperimentConfig) -> ExperimentResult:
-    circuit = load_benchmark(config.benchmark)
+    with obs.span(
+        "pipeline.run", benchmark=config.benchmark, seed=config.seed
+    ):
+        with obs.span("pipeline.load_benchmark", benchmark=config.benchmark):
+            circuit = load_benchmark(config.benchmark)
 
-    # --- stuck-at universe and test sequence (paper section 3) ---
-    collapsed = collapse_faults(circuit)
-    random_result = generate_random_tests(
-        circuit,
-        collapsed,
-        target_coverage=config.random_coverage_target,
-        max_patterns=config.max_random_patterns,
-        seed=config.seed,
-    )
-    if config.deterministic_topoff:
-        deterministic = generate_deterministic_tests(
+        # --- stuck-at universe and test sequence (paper section 3) ---
+        with obs.span("pipeline.collapse_faults"):
+            collapsed = collapse_faults(circuit)
+        random_result = generate_random_tests(
             circuit,
-            random_result.undetected,
-            backtrack_limit=config.backtrack_limit,
+            collapsed,
+            target_coverage=config.random_coverage_target,
+            max_patterns=config.max_random_patterns,
+            seed=config.seed,
         )
-        # The paper assumes "redundant faults can be neglected, so T(k) -> 1".
-        # Proven-redundant faults are excluded from the coverage denominator;
-        # backtrack-aborted faults (overwhelmingly redundant too at this
-        # limit — see tests/test_podem.py) are excluded alongside, reported.
-        redundant = list(deterministic.redundant) + list(deterministic.aborted)
-        deterministic_patterns = list(deterministic.test_set.patterns)
-    else:
-        redundant = []
-        deterministic_patterns = []
-    testable = [f for f in collapsed if f not in set(redundant)]
-    patterns = list(random_result.test_set.patterns) + deterministic_patterns
+        if config.deterministic_topoff:
+            deterministic = generate_deterministic_tests(
+                circuit,
+                random_result.undetected,
+                backtrack_limit=config.backtrack_limit,
+            )
+            # The paper assumes "redundant faults can be neglected, so T(k) -> 1".
+            # Proven-redundant faults are excluded from the coverage denominator;
+            # backtrack-aborted faults (overwhelmingly redundant too at this
+            # limit — see tests/test_podem.py) are excluded alongside, reported.
+            redundant = list(deterministic.redundant) + list(deterministic.aborted)
+            deterministic_patterns = list(deterministic.test_set.patterns)
+        else:
+            redundant = []
+            deterministic_patterns = []
+        testable = [f for f in collapsed if f not in set(redundant)]
+        patterns = list(random_result.test_set.patterns) + deterministic_patterns
+        obs.set_gauge("pipeline.n_patterns", len(patterns))
+        obs.set_gauge("pipeline.n_stuck_faults", len(testable))
 
-    stuck_sim = FaultSimulator(circuit)
-    stuck_result = stuck_sim.run(patterns, faults=testable)
+        with obs.span("pipeline.stuck_fault_sim", n_patterns=len(patterns)):
+            stuck_sim = FaultSimulator(circuit)
+            stuck_result = stuck_sim.run(patterns, faults=testable)
 
-    # --- layout, extraction, yield scaling ---
-    design = build_layout(circuit)
-    statistics = config.statistics or DefectStatistics()
-    faults = extract_faults(design, statistics).scaled_to_yield(config.target_yield)
+        # --- layout, extraction, yield scaling ---
+        with obs.span("pipeline.build_layout"):
+            design = build_layout(circuit)
+        statistics = config.statistics or DefectStatistics()
+        faults = extract_faults(design, statistics).scaled_to_yield(config.target_yield)
+        if obs.is_enabled():
+            for fault in faults:
+                obs.observe("weights.scaled", fault.weight)
 
-    # --- switch-level simulation of the same sequence ---
-    switch = SwitchLevelFaultSimulator(design, patterns)
-    switch_result = switch.run(faults.faults)
-    coverage = build_coverage(faults, switch_result, technique=config.detection)
+        # --- switch-level simulation of the same sequence ---
+        with obs.span("pipeline.switch_sim_setup"):
+            switch = SwitchLevelFaultSimulator(design, patterns)
+        switch_result = switch.run(faults.faults)
+        coverage = build_coverage(faults, switch_result, technique=config.detection)
+        obs.set_gauge("pipeline.theta_max", coverage.theta_max)
+        obs.set_gauge("pipeline.final_T", stuck_result.coverage)
 
     return ExperimentResult(
         config=config,
@@ -215,8 +231,24 @@ def _run_cached(config: ExperimentConfig) -> ExperimentResult:
 
 
 def run_experiment(config: ExperimentConfig | None = None) -> ExperimentResult:
-    """Run (or fetch the memoised) end-to-end pipeline for ``config``."""
-    return _run_cached(config or ExperimentConfig())
+    """Run (or fetch the memoised) end-to-end pipeline for ``config``.
+
+    Memoisation behaviour is reported through the ``pipeline.cache_hit`` /
+    ``pipeline.cache_miss`` counters (and observable without enabling
+    metrics via :func:`cache_info` deltas).
+    """
+    hits_before = _run_cached.cache_info().hits
+    result = _run_cached(config or ExperimentConfig())
+    if _run_cached.cache_info().hits > hits_before:
+        obs.inc("pipeline.cache_hit")
+    else:
+        obs.inc("pipeline.cache_miss")
+    return result
+
+
+def cache_info():
+    """The memoisation statistics of the pipeline (``functools`` CacheInfo)."""
+    return _run_cached.cache_info()
 
 
 def scaled_weight_check(result: ExperimentResult) -> float:

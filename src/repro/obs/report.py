@@ -1,0 +1,116 @@
+"""Human-readable rendering of collected spans and metrics.
+
+``python -m repro --profile`` prints these after the run: a stage-timing
+tree (wall and CPU milliseconds, self-time for spans with children) and a
+table of every counter, gauge and histogram summary.
+
+Kept free of imports from :mod:`repro.experiments` (which imports the
+instrumented pipeline, which imports :mod:`repro.obs`) — the tiny table
+formatter is local.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span, TraceCollector
+
+__all__ = ["render_span_tree", "render_metrics", "render_profile"]
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{1000.0 * seconds:9.1f} ms"
+
+
+#: Children sharing a name beyond this count render as one aggregate line
+#: (e.g. the per-vector fault-sim calls inside the PODEM top-off loop).
+_AGGREGATE_THRESHOLD = 4
+
+
+def _span_lines(span: Span, depth: int, lines: list[str]) -> None:
+    attrs = ""
+    if span.attributes:
+        attrs = "  [" + ", ".join(
+            f"{k}={v}" for k, v in sorted(span.attributes.items())
+        ) + "]"
+    self_note = ""
+    if span.children:
+        self_note = f"  (self {1000.0 * span.self_wall_time:.1f} ms)"
+    lines.append(
+        f"{'  ' * depth}{span.name:<{max(1, 34 - 2 * depth)}}"
+        f"{_fmt_ms(span.wall_time)}  cpu {_fmt_ms(span.cpu_time)}"
+        f"{self_note}{attrs}"
+    )
+    by_name: dict[str, int] = {}
+    for child in span.children:
+        by_name[child.name] = by_name.get(child.name, 0) + 1
+    aggregated: set[str] = set()
+    for child in span.children:
+        if by_name[child.name] >= _AGGREGATE_THRESHOLD:
+            if child.name in aggregated:
+                continue
+            aggregated.add(child.name)
+            group = [c for c in span.children if c.name == child.name]
+            label = f"{child.name} ×{len(group)}"
+            lines.append(
+                f"{'  ' * (depth + 1)}{label:<{max(1, 34 - 2 * (depth + 1))}}"
+                f"{_fmt_ms(sum(c.wall_time for c in group))}"
+                f"  cpu {_fmt_ms(sum(c.cpu_time for c in group))}"
+            )
+        else:
+            _span_lines(child, depth + 1, lines)
+
+
+def render_span_tree(collector: TraceCollector) -> str:
+    """The indented per-stage timing tree of every root span."""
+    lines = ["stage timings (wall / thread-CPU):"]
+    if not collector.roots:
+        lines.append("  (no spans recorded)")
+    for root in collector.roots:
+        _span_lines(root, 1, lines)
+    return "\n".join(lines)
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> list[str]:
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return lines
+
+
+def render_metrics(registry: MetricsRegistry) -> str:
+    """Counters, gauges and histogram summaries as one aligned table."""
+    rows: list[list[str]] = []
+    for name, counter in sorted(registry.counters.items()):
+        rows.append([name, "counter", str(counter.value)])
+    for name, gauge in sorted(registry.gauges.items()):
+        if gauge.value is not None:
+            rows.append([name, "gauge", f"{gauge.value:.6g}"])
+    for name, hist in sorted(registry.histograms.items()):
+        if not hist.count:
+            continue
+        rows.append(
+            [
+                name,
+                "histogram",
+                f"n={hist.count} mean={hist.mean:.3g} "
+                f"min={hist.min:.3g} max={hist.max:.3g}",
+            ]
+        )
+    lines = ["metrics:"]
+    if rows:
+        lines.extend("  " + line for line in _table(["name", "kind", "value"], rows))
+    else:
+        lines.append("  (no metrics recorded)")
+    return "\n".join(lines)
+
+
+def render_profile(collector: TraceCollector, registry: MetricsRegistry) -> str:
+    """The full ``--profile`` report: span tree plus metric table."""
+    return render_span_tree(collector) + "\n\n" + render_metrics(registry)

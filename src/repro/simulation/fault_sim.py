@@ -4,7 +4,9 @@ For every fault the simulator re-evaluates only the fault's output cone with
 the faulty value forced, 64 patterns at a time, and compares primary outputs
 against the fault-free simulation.  Detected faults are dropped from further
 simulation.  The result records each fault's *first-detection index*, which is
-exactly what the paper's ``T(k)`` coverage-growth curves are built from.
+exactly what the paper's ``T(k)`` coverage-growth curves are built from, plus
+its *detection count* over the simulated horizon — the per-fault n-detection
+telemetry that Pomeranz-&-Reddy-style analyses consume downstream.
 """
 
 from __future__ import annotations
@@ -12,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro import obs
 from repro.circuit.levelize import levelize, output_cone
 from repro.circuit.library import ALL_ONES_64, evaluate_gate_packed
 from repro.circuit.netlist import Circuit, Gate
@@ -32,6 +35,12 @@ class FaultSimResult:
     first_detection:
         Fault -> 1-based index of the first detecting vector.  Faults absent
         from the map were never detected by the applied sequence.
+    detection_counts:
+        Fault -> number of detecting vectors seen while the fault was being
+        simulated.  With fault dropping (the default) a fault leaves the
+        active list after its first detecting *group* of 64 vectors, so the
+        count is a lower bound covering that horizon; with
+        ``drop_detected=False`` it is exact over the whole sequence.
     n_patterns:
         Number of vectors applied.
     """
@@ -39,6 +48,7 @@ class FaultSimResult:
     faults: list[StuckAtFault]
     first_detection: dict[StuckAtFault, int]
     n_patterns: int = 0
+    detection_counts: dict[StuckAtFault, int] = field(default_factory=dict)
 
     @property
     def detected(self) -> list[StuckAtFault]:
@@ -68,6 +78,25 @@ class FaultSimResult:
         """``(k, T(k))`` points at every k where coverage changed."""
         ks = sorted(set(self.first_detection.values()))
         return [(k, self.coverage_at(k)) for k in ks]
+
+    def detections_of(self, fault: StuckAtFault) -> int:
+        """Number of detecting vectors recorded for ``fault`` (0 if never)."""
+        return self.detection_counts.get(fault, 0)
+
+    def detected_n_times(self, n: int) -> list[StuckAtFault]:
+        """Faults with at least ``n`` recorded detections, in universe order.
+
+        The n-detection fault set of Pomeranz & Reddy: faults a sequence
+        detects many times are the ones whose surrogate coverage of
+        unmodelled defects is trustworthy.
+        """
+        return [f for f in self.faults if self.detection_counts.get(f, 0) >= n]
+
+    def n_detection_coverage(self, n: int) -> float:
+        """Fraction of the universe detected at least ``n`` times."""
+        if not self.faults:
+            return 1.0
+        return len(self.detected_n_times(n)) / len(self.faults)
 
 
 @dataclass
@@ -207,31 +236,44 @@ class FaultSimulator:
         groups = pack_patterns(patterns, n_inputs)
 
         first_detection: dict[StuckAtFault, int] = {}
+        detection_counts: dict[StuckAtFault, int] = {}
         active = list(faults)
-        for group_index, words in enumerate(groups):
-            if not active:
-                break
-            base = group_index * 64
-            n_here = min(64, len(patterns) - base)
-            group_mask = (1 << n_here) - 1
-            good = self.logic.simulate_packed(words)
-            survivors: list[StuckAtFault] = []
-            for fault in active:
-                diff = self.detection_word(fault, good) & group_mask
-                if diff:
-                    first = base + _lowest_set_bit(diff) + 1
-                    if fault not in first_detection or first < first_detection[fault]:
-                        first_detection[fault] = first
-                    if not drop_detected:
+        with obs.span(
+            "fault_sim.run", n_patterns=len(patterns), n_faults=len(faults)
+        ):
+            for group_index, words in enumerate(groups):
+                if not active:
+                    break
+                base = group_index * 64
+                n_here = min(64, len(patterns) - base)
+                group_mask = (1 << n_here) - 1
+                good = self.logic.simulate_packed(words)
+                survivors: list[StuckAtFault] = []
+                for fault in active:
+                    diff = self.detection_word(fault, good) & group_mask
+                    if diff:
+                        first = base + _lowest_set_bit(diff) + 1
+                        if fault not in first_detection or first < first_detection[fault]:
+                            first_detection[fault] = first
+                        detection_counts[fault] = (
+                            detection_counts.get(fault, 0) + diff.bit_count()
+                        )
+                        if not drop_detected:
+                            survivors.append(fault)
+                    else:
                         survivors.append(fault)
-                else:
-                    survivors.append(fault)
-            active = survivors
+                active = survivors
 
+        obs.inc("fault_sim.patterns_applied", len(patterns))
+        obs.inc("fault_sim.faults_simulated", len(faults))
+        if drop_detected:
+            obs.inc("fault_sim.faults_dropped", len(first_detection))
+        obs.inc("fault_sim.detections", sum(detection_counts.values()))
         return FaultSimResult(
             faults=list(faults),
             first_detection=first_detection,
             n_patterns=len(patterns),
+            detection_counts=detection_counts,
         )
 
     def detects(self, fault: StuckAtFault, pattern: Sequence[int]) -> bool:

@@ -34,6 +34,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.circuit.library import GateType
 from repro.circuit.netlist import Gate
 from repro.defects.fault_types import (
@@ -208,17 +209,26 @@ class SwitchLevelFaultSimulator:
     def run(self, faults: Sequence[RealisticFault]) -> SwitchSimResult:
         """Simulate every fault; return first-detection indices."""
         result = SwitchSimResult(faults=list(faults), n_patterns=self.n_patterns)
-        for fault in faults:
-            det = self._dispatch(fault)
-            if det.strict is not None:
-                result.first_detection[id(fault)] = det.strict
-            potential = det.merged_potential()
-            if potential is not None:
-                result.first_detection_potential[id(fault)] = potential
-            if det.iddq is not None:
-                result.first_detection_iddq[id(fault)] = det.iddq
-            if det.iddq_current > 0:
-                result.iddq_peak[id(fault)] = det.iddq_current
+        with obs.span(
+            "switch_sim.run", n_faults=len(result.faults), n_patterns=self.n_patterns
+        ):
+            for fault in result.faults:
+                det = self._dispatch(fault)
+                if det.strict is not None:
+                    result.first_detection[id(fault)] = det.strict
+                potential = det.merged_potential()
+                if potential is not None:
+                    result.first_detection_potential[id(fault)] = potential
+                if det.iddq is not None:
+                    result.first_detection_iddq[id(fault)] = det.iddq
+                if det.iddq_current > 0:
+                    result.iddq_peak[id(fault)] = det.iddq_current
+        obs.inc("switch_sim.faults_simulated", len(result.faults))
+        obs.inc("switch_sim.detected_strict", len(result.first_detection))
+        obs.inc(
+            "switch_sim.detected_potential", len(result.first_detection_potential)
+        )
+        obs.inc("switch_sim.detected_iddq", len(result.first_detection_iddq))
         return result
 
     def _dispatch(self, fault: RealisticFault) -> Detection:

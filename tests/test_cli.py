@@ -2,7 +2,15 @@
 
 import pytest
 
+from repro import obs
 from repro.__main__ import main
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    obs.disable()
+    yield
+    obs.disable()
 
 
 def test_cli_runs_small_benchmark(capsys, tmp_path):
@@ -12,6 +20,7 @@ def test_cli_runs_small_benchmark(capsys, tmp_path):
     out = capsys.readouterr().out
     assert "fit of eq. 11" in out
     assert "theta(k)" in out
+    assert "pipeline cache:" in out
     assert svg.exists()
 
 
@@ -24,3 +33,61 @@ def test_cli_technique_option(capsys):
     code = main(["c17", "--technique", "either"])
     assert code == 0
     assert "Coverage growth" in capsys.readouterr().out
+
+
+def test_cli_seed_and_max_random_patterns_flags(capsys):
+    # A custom seed/cap combination forces a fresh (cache-miss) run.
+    code = main(["c17", "--seed", "777", "--max-random-patterns", "96"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "pipeline cache: miss" in out
+    # Re-running the identical configuration is memoised and says so.
+    code = main(["c17", "--seed", "777", "--max-random-patterns", "96"])
+    assert code == 0
+    assert "pipeline cache: hit" in capsys.readouterr().out
+
+
+def test_cli_profile_prints_span_tree_and_metrics(capsys):
+    code = main(["c17", "--seed", "31337", "--profile"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "stage timings" in out
+    for span_name in (
+        "pipeline.run",
+        "atpg.random",
+        "pipeline.stuck_fault_sim",
+        "defects.extract",
+        "switch_sim.run",
+    ):
+        assert span_name in out
+    assert "metrics:" in out
+    assert "fault_sim.patterns_applied" in out
+    # --profile leaves the global state disabled afterwards.
+    assert not obs.is_enabled()
+
+
+def test_cli_trace_writes_manifest(capsys, tmp_path):
+    from repro.obs.manifest import read_manifests
+
+    trace = tmp_path / "run.jsonl"
+    code = main(["c17", "--seed", "90210", "--trace", str(trace)])
+    assert code == 0
+    assert "manifest" in capsys.readouterr().out
+    (manifest,) = read_manifests(str(trace))
+    assert manifest.benchmark == "c17"
+    assert manifest.seed == 90210
+    assert manifest.config["seed"] == 90210
+    assert manifest.config_hash
+    assert manifest.cache == "miss"
+    assert "R" in manifest.results and "theta_max_fit" in manifest.results
+    assert "pipeline.run" in manifest.stage_timings
+    # >= 5 distinct spans through the pipeline stages.
+    assert len(manifest.stage_timings) >= 5
+
+    # A second identical run appends a cache-hit manifest to the same file.
+    code = main(["c17", "--seed", "90210", "--trace", str(trace)])
+    assert code == 0
+    capsys.readouterr()
+    manifests = read_manifests(str(trace))
+    assert len(manifests) == 2
+    assert manifests[1].cache == "hit"
