@@ -1,0 +1,281 @@
+"""Wall-clock benchmark: wide-word compiled engine vs the seed engine.
+
+The seed fault simulator (64-bit words, name-keyed dicts, eager cone
+extraction, no compilation) is embedded below *verbatim in structure* so the
+comparison is against the actual pre-optimization engine, not a strawman.
+The benchmark asserts:
+
+* the wide-word compiled engine (single process) produces **bit-exact**
+  results and is at least **3x faster** on the c880-class benchmark over the
+  full collapsed stuck-at universe;
+* the multi-core engine produces results identical to the serial engine.
+
+Results are written to ``BENCH_fault_sim.json`` at the repo root.
+
+Modes
+-----
+Full mode (default) runs c880.  Quick mode — ``FAULT_SIM_BENCH_QUICK=1`` —
+runs c432 with fewer patterns and skips the speedup floor (CI smoke: shared
+runners make wall-clock ratios flaky); it still checks bit-exactness and
+serial/parallel equality and still writes the JSON artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.atpg import random_patterns
+from repro.circuit.iscas import load_benchmark
+from repro.circuit.levelize import levelize, output_cone
+from repro.circuit.library import ALL_ONES_64, evaluate_gate_packed
+from repro.circuit.netlist import Circuit, Gate
+from repro.simulation import (
+    FaultSimulator,
+    ParallelFaultSimulator,
+    StuckAtFault,
+    collapse_faults,
+)
+from repro.simulation.faults import FaultSite
+
+QUICK = bool(os.environ.get("FAULT_SIM_BENCH_QUICK"))
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_fault_sim.json"
+
+
+# ---------------------------------------------------------------------------
+# The seed engine, frozen.  64 patterns per word, name-keyed value dicts,
+# per-fault cone re-walk with no compiled schedule — the baseline every
+# optimization in repro.simulation.fault_sim is measured against.
+# ---------------------------------------------------------------------------
+
+
+def _seed_pack_patterns(
+    patterns: Sequence[Sequence[int]], n_inputs: int
+) -> list[list[int]]:
+    groups: list[list[int]] = []
+    for start in range(0, len(patterns), 64):
+        chunk = patterns[start : start + 64]
+        words = [0] * n_inputs
+        for bit, vector in enumerate(chunk):
+            for i, value in enumerate(vector):
+                if value:
+                    words[i] |= 1 << bit
+        groups.append(words)
+    return groups
+
+
+class _SeedLogicSimulator:
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        self.order: list[Gate] = levelize(circuit)
+        self._n_inputs = len(circuit.primary_inputs)
+
+    def simulate_packed(self, input_words: Sequence[int]) -> dict[str, int]:
+        values: dict[str, int] = dict(
+            zip(self.circuit.primary_inputs, input_words)
+        )
+        for gate in self.order:
+            operands = [values[net] for net in gate.inputs]
+            values[gate.output] = evaluate_gate_packed(
+                gate.gate_type, operands, ALL_ONES_64
+            )
+        return values
+
+
+@dataclass
+class _SeedConeInfo:
+    gates: list[Gate] = field(default_factory=list)
+    outputs: list[str] = field(default_factory=list)
+
+
+class SeedFaultSimulator:
+    """The seed repo's cone-restricted 64-bit fault simulator."""
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        self.logic = _SeedLogicSimulator(circuit)
+        self._order = levelize(circuit)
+        self._cones: dict[str, _SeedConeInfo] = {}
+        po_set = set(circuit.primary_outputs)
+        for net in circuit.nets:
+            cone_nets = output_cone(circuit, net)
+            info = _SeedConeInfo(
+                gates=[g for g in self._order if g.output in cone_nets],
+                outputs=[
+                    po for po in circuit.primary_outputs if po in cone_nets
+                ],
+            )
+            if net in po_set and net not in info.outputs:
+                info.outputs.append(net)
+            self._cones[net] = info
+
+    def detection_word(
+        self, fault: StuckAtFault, good_values: dict[str, int]
+    ) -> int:
+        stuck_word = ALL_ONES_64 if fault.value else 0
+        cone = self._cones[fault.net]
+        faulty: dict[str, int] = {}
+        if fault.site is FaultSite.NET:
+            faulty[fault.net] = stuck_word
+        diff = 0
+        for gate in cone.gates:
+            operands = []
+            for pin, net in enumerate(gate.inputs):
+                if (
+                    fault.site is FaultSite.GATE_INPUT
+                    and gate.name == fault.gate
+                    and pin == fault.pin
+                ):
+                    operands.append(stuck_word)
+                else:
+                    operands.append(faulty.get(net, good_values[net]))
+            value = evaluate_gate_packed(gate.gate_type, operands, ALL_ONES_64)
+            if fault.site is FaultSite.NET and gate.output == fault.net:
+                value = stuck_word
+            faulty[gate.output] = value
+        for po in cone.outputs:
+            diff |= faulty.get(po, good_values[po]) ^ good_values[po]
+        return diff & ALL_ONES_64
+
+    def run(
+        self,
+        patterns: Sequence[Sequence[int]],
+        faults: list[StuckAtFault],
+        drop_detected: bool = True,
+    ) -> tuple[dict[StuckAtFault, int], dict[StuckAtFault, int]]:
+        n_inputs = len(self.circuit.primary_inputs)
+        groups = _seed_pack_patterns(patterns, n_inputs)
+        first_detection: dict[StuckAtFault, int] = {}
+        detection_counts: dict[StuckAtFault, int] = {}
+        active = list(faults)
+        for group_index, words in enumerate(groups):
+            if not active:
+                break
+            base = group_index * 64
+            n_here = min(64, len(patterns) - base)
+            group_mask = (1 << n_here) - 1
+            good = self.logic.simulate_packed(words)
+            survivors: list[StuckAtFault] = []
+            for fault in active:
+                diff = self.detection_word(fault, good) & group_mask
+                if diff:
+                    first = base + ((diff & -diff).bit_length() - 1) + 1
+                    if (
+                        fault not in first_detection
+                        or first < first_detection[fault]
+                    ):
+                        first_detection[fault] = first
+                    detection_counts[fault] = (
+                        detection_counts.get(fault, 0) + diff.bit_count()
+                    )
+                    if not drop_detected:
+                        survivors.append(fault)
+                else:
+                    survivors.append(fault)
+            active = survivors
+        return first_detection, detection_counts
+
+
+# ---------------------------------------------------------------------------
+# The benchmark proper.
+# ---------------------------------------------------------------------------
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_wide_word_engine_speedup_vs_seed():
+    benchmark = "c432" if QUICK else "c880"
+    n_patterns = 256 if QUICK else 1024
+    circuit = load_benchmark(benchmark)
+    faults = collapse_faults(circuit)
+    patterns = random_patterns(
+        len(circuit.primary_inputs), n_patterns, seed=42
+    )
+
+    # Full-universe run: every fault against every pattern, no dropping —
+    # the exact n-detection telemetry workload.  Construction is inside the
+    # timed region: the seed engine's eager per-net cone extraction is one
+    # of the costs the compiled engine's lazy memoization removes.
+    def run_seed():
+        sim = SeedFaultSimulator(circuit)
+        return sim.run(patterns, faults, drop_detected=False)
+
+    (seed_first, seed_counts), seed_seconds = _timed(run_seed)
+
+    def run_wide():
+        sim = FaultSimulator(circuit)  # default wide width, single process
+        return sim.run(patterns, faults=faults, drop_detected=False)
+
+    wide_result, wide_seconds = _timed(run_wide)
+
+    # Bit-exact against the seed engine, detection counts included.
+    assert wide_result.first_detection == seed_first
+    assert wide_result.detection_counts == seed_counts
+
+    # Fault dropping changes only how much work is skipped, never the
+    # first-detection indices.
+    wide = FaultSimulator(circuit)
+    dropped = wide.run(patterns, faults=faults)
+    assert dropped.first_detection == seed_first
+
+    parallel = ParallelFaultSimulator(circuit, max_workers=2, crossover=0)
+    parallel_result, parallel_seconds = _timed(
+        lambda: parallel.run(patterns, faults=faults, drop_detected=False)
+    )
+    assert parallel.last_engine == "parallel"
+    assert parallel_result.first_detection == seed_first
+    assert parallel_result.detection_counts == seed_counts
+
+    speedup = seed_seconds / wide_seconds if wide_seconds > 0 else float("inf")
+    parallel_speedup = (
+        seed_seconds / parallel_seconds if parallel_seconds > 0 else float("inf")
+    )
+    record = {
+        "benchmark": benchmark,
+        "mode": "quick" if QUICK else "full",
+        "n_patterns": n_patterns,
+        "n_faults": len(faults),
+        "seed_engine": {"word_width": 64, "seconds": round(seed_seconds, 4)},
+        "wide_engine": {
+            "word_width": wide.width,
+            "seconds": round(wide_seconds, 4),
+            "speedup_vs_seed": round(speedup, 2),
+        },
+        "parallel_engine": {
+            **parallel.engine_info(),
+            "seconds": round(parallel_seconds, 4),
+            "speedup_vs_seed": round(parallel_speedup, 2),
+        },
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    if not QUICK:
+        assert speedup >= 3.0, (
+            f"wide-word engine speedup {speedup:.2f}x < 3x "
+            f"(seed {seed_seconds:.3f}s, wide {wide_seconds:.3f}s)"
+        )
+
+
+def test_parallel_matches_serial_quick():
+    """CI smoke: the pool path is bit-exact vs serial on a small workload."""
+    circuit = load_benchmark("c432")
+    faults = collapse_faults(circuit)
+    patterns = random_patterns(len(circuit.primary_inputs), 192, seed=7)
+
+    serial = FaultSimulator(circuit).run(patterns, faults=faults)
+    pooled_sim = ParallelFaultSimulator(circuit, max_workers=2, crossover=0)
+    pooled = pooled_sim.run(patterns, faults=faults)
+
+    assert pooled_sim.last_engine == "parallel"
+    assert pooled.first_detection == serial.first_detection
+    assert pooled.detection_counts == serial.detection_counts
+    assert pooled.n_patterns == serial.n_patterns
+    assert pooled.coverage == serial.coverage

@@ -169,6 +169,7 @@ def main(argv: list[str] | None = None) -> int:
             collector=collector,
             registry=metrics,
             cache=cache_status,
+            engine=result.engine,
             results={
                 "R": fit.susceptibility_ratio,
                 "theta_max_fit": fit.theta_max,

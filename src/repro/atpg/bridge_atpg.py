@@ -163,30 +163,37 @@ def _exhaustive_miter_check(
 
     Returns a detecting vector, None when proven untestable, or the string
     ``"too-big"`` when the support exceeds ``exhaustive_limit`` inputs.
+
+    A vector sets DIFF to 1 exactly when it detects ``DIFF stuck-at-0``, so
+    the scan reuses the fault simulator's batched
+    :meth:`~repro.simulation.fault_sim.FaultSimulator.first_detecting` —
+    assignments are packed a full engine word per pass instead of being
+    simulated vector by vector.
     """
     from repro.circuit.levelize import input_cone
-    from repro.simulation.logic_sim import LogicSimulator
+    from repro.simulation.fault_sim import FaultSimulator
 
     pis = miter.primary_inputs
     support = [pi for pi in pis if pi in input_cone(miter, _DIFF_NET)]
     if len(support) > exhaustive_limit:
         return "too-big"
-    sim = LogicSimulator(miter)
+    sim = FaultSimulator(miter)
+    diff_sa0 = StuckAtFault(_DIFF_NET, 0)
     indices = [pis.index(pi) for pi in support]
     n = len(support)
     base = [0] * len(pis)
-    # Pack 64 assignments per pass over the miter.
-    for start in range(0, 2**n, 64):
+    # Bound per-pass memory: enumerate assignments in packed-word batches.
+    batch = max(sim.width, 1024)
+    for start in range(0, 2**n, batch):
         chunk = []
-        for code in range(start, min(start + 64, 2**n)):
+        for code in range(start, min(start + batch, 2**n)):
             vec = list(base)
             for bit, index in enumerate(indices):
                 vec[index] = (code >> bit) & 1
             chunk.append(vec)
-        rows = sim.run_patterns(chunk)
-        for offset, row in enumerate(rows):
-            if row[0]:
-                return chunk[offset]
+        hit = sim.first_detecting(diff_sa0, chunk)
+        if hit is not None:
+            return chunk[hit - 1]
     return None
 
 

@@ -49,6 +49,7 @@ def generate_random_tests(
     max_patterns: int = 2048,
     patience: int = 256,
     seed: int = 1234,
+    word_width: int | None = None,
 ) -> RandomAtpgResult:
     """Generate random vectors until coverage, patience, or cap is reached.
 
@@ -66,10 +67,17 @@ def generate_random_tests(
         Stop after this many consecutive vectors that detect nothing new.
     seed:
         PRNG seed (results are fully reproducible).
+    word_width:
+        Packed-word width of the underlying fault simulator; defaults to the
+        engine default.  Generation batches stay at 64 vectors so stopping
+        decisions (and therefore the generated sequence) are width-invariant.
     """
     if faults is None:
         faults = collapse_faults(circuit)
-    simulator = FaultSimulator(circuit)
+    if word_width is None:
+        simulator = FaultSimulator(circuit)
+    else:
+        simulator = FaultSimulator(circuit, width=word_width)
     n_inputs = len(circuit.primary_inputs)
     test_set = TestSet(n_inputs=n_inputs)
 

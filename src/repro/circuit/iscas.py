@@ -23,6 +23,7 @@ __all__ = [
     "C17_BENCH",
     "c17",
     "c432_like",
+    "c880_like",
     "ripple_carry_adder",
     "parity_tree",
     "mux_tree",
@@ -176,6 +177,235 @@ def c432_like() -> Circuit:
     return ckt
 
 
+def c880_like() -> Circuit:
+    """A c880-class benchmark: 8-bit ALU with parity, flags and control decode.
+
+    Matches the published c880 interface and scale: 60 primary inputs (two
+    8-bit operands ``A``/``B``, an 8-bit compare bus ``C``, a 16-bit data bus
+    ``D``, byte-select enables ``E``, a mask bus ``M`` and a 4-bit opcode
+    ``K``), 26 primary outputs (8-bit result ``F``, 8-bit masked result
+    ``G``, parities, zero flags, carry, compare flags and an encoded channel
+    address), and a few hundred gates mixing adder carry chains, a logic
+    unit, wide multiplexing and XOR parity trees — the structures that give
+    c880 its fault-simulation workload.
+
+    It is the perf-bench workhorse: large enough that the full collapsed
+    stuck-at universe exercises the engine seriously, small enough to run in
+    a test suite.
+    """
+    ckt = Circuit(name="c880_like")
+    a = [ckt.add_input(f"A{i}") for i in range(8)]
+    b = [ckt.add_input(f"B{i}") for i in range(8)]
+    c = [ckt.add_input(f"C{i}") for i in range(8)]
+    d = [ckt.add_input(f"D{i}") for i in range(16)]
+    e = [ckt.add_input(f"E{i}") for i in range(8)]
+    m = [ckt.add_input(f"M{i}") for i in range(8)]
+    k = [ckt.add_input(f"K{i}") for i in range(4)]
+
+    # --- control decode: 3-to-8 op select plus an invert/carry control ---
+    nk = []
+    for i in range(3):
+        n = f"NK{i}"
+        ckt.add_gate(GateType.NOT, [k[i]], n)
+        nk.append(n)
+    ops = []
+    for code in range(8):
+        picks = [k[j] if (code >> j) & 1 else nk[j] for j in range(3)]
+        op = f"OP{code}"
+        ckt.add_gate(GateType.AND, picks, op)
+        ops.append(op)
+
+    # --- arithmetic unit: A + (B ^ K3) with carry-in K3 (add/subtract) ---
+    xb = []
+    for i in range(8):
+        x = f"XB{i}"
+        ckt.add_gate(GateType.XOR, [b[i], k[3]], x)
+        xb.append(x)
+    carry = k[3]
+    sums = []
+    for i in range(8):
+        p = f"AP{i}"
+        ckt.add_gate(GateType.XOR, [a[i], xb[i]], p)
+        s = f"SUM{i}"
+        ckt.add_gate(GateType.XOR, [p, carry], s)
+        sums.append(s)
+        g1 = f"AG{i}"
+        g2 = f"AH{i}"
+        ckt.add_gate(GateType.AND, [a[i], xb[i]], g1)
+        ckt.add_gate(GateType.AND, [p, carry], g2)
+        cout = f"AC{i + 1}"
+        ckt.add_gate(GateType.OR, [g1, g2], cout)
+        carry = cout
+
+    # --- logic unit: five bitwise functions of A and B ---
+    unit: dict[str, list[str]] = {}
+    for tag, gate_type in (
+        ("ANDU", GateType.AND),
+        ("ORU", GateType.OR),
+        ("XORU", GateType.XOR),
+        ("NANDU", GateType.NAND),
+        ("NORU", GateType.NOR),
+    ):
+        nets = []
+        for i in range(8):
+            out = f"{tag}{i}"
+            ckt.add_gate(gate_type, [a[i], b[i]], out)
+            nets.append(out)
+        unit[tag] = nets
+
+    # --- data path: byte select from the 16-bit D bus under E ---
+    md = []
+    for i in range(8):
+        ne = f"NE{i}"
+        ckt.add_gate(GateType.NOT, [e[i]], ne)
+        lo = f"DL{i}"
+        hi = f"DH{i}"
+        ckt.add_gate(GateType.AND, [d[i], e[i]], lo)
+        ckt.add_gate(GateType.AND, [d[i + 8], ne], hi)
+        sel = f"MD{i}"
+        ckt.add_gate(GateType.OR, [lo, hi], sel)
+        md.append(sel)
+
+    # --- eighth source: rotate-compare of A against the C bus ---
+    rt = []
+    for i in range(8):
+        out = f"RT{i}"
+        ckt.add_gate(GateType.XOR, [a[(i + 1) % 8], c[i]], out)
+        rt.append(out)
+
+    # --- result mux: 8-way op select per bit ---
+    sources = [
+        sums,
+        unit["ANDU"],
+        unit["ORU"],
+        unit["XORU"],
+        unit["NANDU"],
+        unit["NORU"],
+        md,
+        rt,
+    ]
+    f_bus = []
+    for i in range(8):
+        terms = []
+        for code, src in enumerate(sources):
+            t = f"FT{code}_{i}"
+            ckt.add_gate(GateType.AND, [src[i], ops[code]], t)
+            terms.append(t)
+        out = f"F{i}"
+        ckt.add_gate(GateType.OR, terms, out)
+        ckt.add_output(out)
+        f_bus.append(out)
+
+    # --- masked result: G = F ^ (M & C) ---
+    g_bus = []
+    for i in range(8):
+        mc = f"MC{i}"
+        ckt.add_gate(GateType.AND, [m[i], c[i]], mc)
+        out = f"G{i}"
+        ckt.add_gate(GateType.XOR, [f_bus[i], mc], out)
+        ckt.add_output(out)
+        g_bus.append(out)
+
+    def xor_tree(prefix: str, nets: list[str], final: str) -> None:
+        frontier = list(nets)
+        counter = 0
+        while len(frontier) > 2:
+            nxt = []
+            for i in range(0, len(frontier) - 1, 2):
+                out = f"{prefix}{counter}"
+                counter += 1
+                ckt.add_gate(GateType.XOR, [frontier[i], frontier[i + 1]], out)
+                nxt.append(out)
+            if len(frontier) % 2:
+                nxt.append(frontier[-1])
+            frontier = nxt
+        ckt.add_gate(GateType.XOR, frontier, final)
+        ckt.add_output(final)
+
+    def or_tree(prefix: str, nets: list[str]) -> str:
+        frontier = list(nets)
+        counter = 0
+        while len(frontier) > 2:
+            nxt = []
+            for i in range(0, len(frontier) - 1, 2):
+                out = f"{prefix}{counter}"
+                counter += 1
+                ckt.add_gate(GateType.OR, [frontier[i], frontier[i + 1]], out)
+                nxt.append(out)
+            if len(frontier) % 2:
+                nxt.append(frontier[-1])
+            frontier = nxt
+        out = f"{prefix}R"
+        ckt.add_gate(GateType.OR, frontier, out)
+        return out
+
+    # --- flags: parities, zero detects, carry, compare ---
+    xor_tree("PFX", f_bus, "PF")
+    xor_tree("PGX", g_bus, "PG")
+    ckt.add_gate(GateType.NOT, [or_tree("ZFO", f_bus)], "ZF")
+    ckt.add_output("ZF")
+    ckt.add_gate(GateType.NOT, [or_tree("ZGO", g_bus)], "ZG")
+    ckt.add_output("ZG")
+    ckt.add_gate(GateType.BUF, [carry], "COUT")
+    ckt.add_output("COUT")
+    eq_bits = []
+    for i in range(8):
+        out = f"EQB{i}"
+        ckt.add_gate(GateType.XNOR, [a[i], b[i]], out)
+        eq_bits.append(out)
+    eq_or = or_tree("EQT", eq_bits)  # placeholder to keep tree helper shared
+    ckt.add_gate(GateType.BUF, [eq_or], "ANY_EQ")
+    ckt.add_output("ANY_EQ")
+    and_frontier = list(eq_bits)
+    counter = 0
+    while len(and_frontier) > 2:
+        nxt = []
+        for i in range(0, len(and_frontier) - 1, 2):
+            out = f"EQA{counter}"
+            counter += 1
+            ckt.add_gate(GateType.AND, [and_frontier[i], and_frontier[i + 1]], out)
+            nxt.append(out)
+        if len(and_frontier) % 2:
+            nxt.append(and_frontier[-1])
+        and_frontier = nxt
+    ckt.add_gate(GateType.AND, and_frontier, "EQ")
+    ckt.add_output("EQ")
+
+    # --- priority encoder over the masked compare bus ---
+    live = []
+    for i in range(8):
+        out = f"LC{i}"
+        ckt.add_gate(GateType.AND, [c[i], m[i]], out)
+        live.append(out)
+    blocked = None
+    grants = []
+    for i in range(8):
+        if blocked is None:
+            grant = live[0]
+        else:
+            grant = f"GR{i}"
+            ckt.add_gate(GateType.AND, [live[i], blocked], grant)
+        grants.append(grant)
+        inv = f"NL{i}"
+        ckt.add_gate(GateType.NOT, [live[i]], inv)
+        if blocked is None:
+            blocked = inv
+        else:
+            nb = f"BL{i}"
+            ckt.add_gate(GateType.AND, [blocked, inv], nb)
+            blocked = nb
+    # One-hot grants: XOR == OR, keeping the gate mix XOR-rich like c880.
+    ckt.add_gate(GateType.XOR, [grants[i] for i in (1, 3, 5, 7)], "AD0")
+    ckt.add_output("AD0")
+    ckt.add_gate(GateType.XOR, [grants[i] for i in (2, 3, 6, 7)], "AD1")
+    ckt.add_output("AD1")
+    ckt.add_gate(GateType.XOR, [grants[i] for i in (4, 5, 6, 7)], "AD2")
+    ckt.add_output("AD2")
+
+    ckt.validate()
+    return ckt
+
+
 def ripple_carry_adder(n_bits: int, name: str | None = None) -> Circuit:
     """An ``n``-bit ripple-carry adder: inputs A0.., B0.., CIN; outputs S.., COUT."""
     if n_bits < 1:
@@ -291,6 +521,8 @@ BENCHMARKS = {
     "c17": c17,
     "c432": c432_like,
     "c432_like": c432_like,
+    "c880": c880_like,
+    "c880_like": c880_like,
     "rca8": lambda: ripple_carry_adder(8),
     "rca16": lambda: ripple_carry_adder(16),
     "par16": lambda: parity_tree(16),

@@ -15,10 +15,29 @@ from enum import Enum
 from functools import reduce
 from typing import Sequence
 
-__all__ = ["GateType", "evaluate_gate", "evaluate_gate_packed", "ALL_ONES_64"]
+__all__ = [
+    "GateType",
+    "evaluate_gate",
+    "evaluate_gate_packed",
+    "ALL_ONES_64",
+    "DEFAULT_WORD_WIDTH",
+    "all_ones",
+]
 
-#: Mask of 64 set bits, the width of one packed simulation word.
+#: Mask of 64 set bits, the width of the classic packed simulation word.
 ALL_ONES_64 = (1 << 64) - 1
+
+#: Default packed-word width of the simulators.  Python ints are arbitrary
+#: precision, so packing more patterns per word amortises interpreter
+#: overhead; 256 is the sweet spot measured in ``BENCH_fault_sim.json``.
+DEFAULT_WORD_WIDTH = 256
+
+
+def all_ones(width: int) -> int:
+    """Mask of ``width`` set bits (the all-detecting packed word)."""
+    if width < 1:
+        raise ValueError(f"word width must be positive, got {width}")
+    return (1 << width) - 1
 
 
 class GateType(str, Enum):

@@ -85,7 +85,10 @@ class FaultDictionary:
             patterns=[list(p) for p in patterns],
             faults=list(faults),
         )
-        groups = pack_patterns(dictionary.patterns, len(circuit.primary_inputs))
+        width = simulator.width
+        groups = pack_patterns(
+            dictionary.patterns, len(circuit.primary_inputs), width
+        )
         n_patterns = len(dictionary.patterns)
         pos = {po: i for i, po in enumerate(circuit.primary_outputs)}
 
@@ -93,12 +96,12 @@ class FaultDictionary:
             f: set() for f in faults
         }
         for g, words in enumerate(groups):
-            base = g * 64
-            n_here = min(64, n_patterns - base)
+            base = g * width
+            n_here = min(width, n_patterns - base)
             mask = (1 << n_here) - 1
-            good = simulator.logic.simulate_packed(words)
+            good = simulator.logic.simulate_packed_list(words)
             for fault in faults:
-                per_po = cls._po_diff_words(simulator, fault, good)
+                per_po = simulator.po_diff_words(fault, good)
                 for po, diff in per_po.items():
                     diff &= mask
                     while diff:
@@ -109,40 +112,6 @@ class FaultDictionary:
             f: Syndrome(frozenset(fails)) for f, fails in failures.items()
         }
         return dictionary
-
-    @staticmethod
-    def _po_diff_words(
-        simulator: FaultSimulator, fault: StuckAtFault, good: dict[str, int]
-    ) -> dict[str, int]:
-        """Per-output difference words (the per-PO refinement of
-        ``detection_word``)."""
-        from repro.circuit.library import ALL_ONES_64, evaluate_gate_packed
-        from repro.simulation.faults import FaultSite
-
-        stuck_word = ALL_ONES_64 if fault.value else 0
-        cone = simulator._cones[fault.net]
-        faulty: dict[str, int] = {}
-        if fault.site is FaultSite.NET:
-            faulty[fault.net] = stuck_word
-        for gate in cone.gates:
-            operands = []
-            for pin, net in enumerate(gate.inputs):
-                if (
-                    fault.site is FaultSite.GATE_INPUT
-                    and gate.name == fault.gate
-                    and pin == fault.pin
-                ):
-                    operands.append(stuck_word)
-                else:
-                    operands.append(faulty.get(net, good[net]))
-            value = evaluate_gate_packed(gate.gate_type, operands, ALL_ONES_64)
-            if fault.site is FaultSite.NET and gate.output == fault.net:
-                value = stuck_word
-            faulty[gate.output] = value
-        return {
-            po: (faulty.get(po, good[po]) ^ good[po]) & ALL_ONES_64
-            for po in cone.outputs
-        }
 
     # ------------------------------------------------------------------
     def syndrome_of(self, fault: StuckAtFault) -> Syndrome:

@@ -36,8 +36,9 @@ from repro.defects.extraction import extract_faults
 from repro.defects.fault_types import FaultList
 from repro.defects.statistics import DefectStatistics
 from repro.layout.design import LayoutDesign, build_layout
-from repro.simulation.fault_sim import FaultSimResult, FaultSimulator
+from repro.simulation.fault_sim import FaultSimResult
 from repro.simulation.faults import StuckAtFault, collapse_faults
+from repro.simulation.parallel import ParallelFaultSimulator
 from repro.switchsim.coverage import CoverageCurves, build_coverage
 from repro.switchsim.simulator import SwitchLevelFaultSimulator, SwitchSimResult
 
@@ -59,6 +60,14 @@ class ExperimentConfig:
     #: When False, the paper's deterministic (PODEM) top-off is skipped and
     #: only the random prefix is applied (vector-source ablation).
     deterministic_topoff: bool = True
+    #: Packed-word width of the fault-simulation engine (None = engine
+    #: default).  Simulation results are bit-exact across widths; this only
+    #: moves wall-clock time.
+    word_width: int | None = None
+    #: Worker-process cap for the stuck-at fault-simulation stage (None =
+    #: machine CPU count; the engine still runs serially below its
+    #: work crossover).
+    fault_sim_workers: int | None = None
 
     def __hash__(self) -> int:  # DefectStatistics carries dicts
         stats_key = (
@@ -78,6 +87,8 @@ class ExperimentConfig:
                 stats_key,
                 self.detection,
                 self.deterministic_topoff,
+                self.word_width,
+                self.fault_sim_workers,
             )
         )
 
@@ -98,6 +109,9 @@ class ExperimentResult:
     switch_result: SwitchSimResult
     coverage: CoverageCurves
     sample_ks: list[int] = field(default_factory=list)
+    #: Descriptor of the fault-simulation engine that produced
+    #: ``stuck_result``: name ("serial"/"parallel"), word width, workers.
+    engine: dict[str, object] = field(default_factory=dict)
 
     # -- per-k series ------------------------------------------------------
     def T_at(self, k: int) -> float:
@@ -172,6 +186,7 @@ def _run_cached(config: ExperimentConfig) -> ExperimentResult:
             target_coverage=config.random_coverage_target,
             max_patterns=config.max_random_patterns,
             seed=config.seed,
+            word_width=config.word_width,
         )
         if config.deterministic_topoff:
             deterministic = generate_deterministic_tests(
@@ -194,8 +209,18 @@ def _run_cached(config: ExperimentConfig) -> ExperimentResult:
         obs.set_gauge("pipeline.n_stuck_faults", len(testable))
 
         with obs.span("pipeline.stuck_fault_sim", n_patterns=len(patterns)):
-            stuck_sim = FaultSimulator(circuit)
+            if config.word_width is None:
+                stuck_sim = ParallelFaultSimulator(
+                    circuit, max_workers=config.fault_sim_workers
+                )
+            else:
+                stuck_sim = ParallelFaultSimulator(
+                    circuit,
+                    width=config.word_width,
+                    max_workers=config.fault_sim_workers,
+                )
             stuck_result = stuck_sim.run(patterns, faults=testable)
+        engine = stuck_sim.engine_info()
 
         # --- layout, extraction, yield scaling ---
         with obs.span("pipeline.build_layout"):
@@ -227,6 +252,7 @@ def _run_cached(config: ExperimentConfig) -> ExperimentResult:
         switch_result=switch_result,
         coverage=coverage,
         sample_ks=_sample_ks(len(patterns)),
+        engine=engine,
     )
 
 

@@ -98,6 +98,9 @@ class RunManifest:
     seed: int | None = None
     git: str | None = None
     cache: str | None = None  # "hit" | "miss" | None (not recorded)
+    #: Fault-simulation engine descriptor: name ("serial"/"parallel"),
+    #: word width, worker count.  Empty when not recorded.
+    engine: dict[str, object] = field(default_factory=dict)
     #: span name -> cumulative wall seconds.
     stage_timings: dict[str, float] = field(default_factory=dict)
     #: Top-level span trees (nested records).
@@ -116,6 +119,7 @@ class RunManifest:
         registry: "MetricsRegistry | None" = None,
         results: dict[str, object] | None = None,
         cache: str | None = None,
+        engine: dict[str, object] | None = None,
     ) -> "RunManifest":
         """Assemble a manifest from a config and the observability state."""
         config_d = config_to_dict(config)
@@ -126,6 +130,7 @@ class RunManifest:
             seed=config_d.get("seed") if isinstance(config_d.get("seed"), int) else None,
             git=git_describe(),
             cache=cache,
+            engine=_jsonable(engine or {}),
             results=_jsonable(results or {}),
         )
         if collector is not None:
@@ -151,6 +156,7 @@ class RunManifest:
                 "seed": self.seed,
                 "git": self.git,
                 "cache": self.cache,
+                "engine": self.engine,
                 "stage_timings": self.stage_timings,
                 "results": self.results,
             }
@@ -180,6 +186,7 @@ class RunManifest:
             seed=head.get("seed"),
             git=head.get("git"),
             cache=head.get("cache"),
+            engine=head.get("engine", {}),
             stage_timings=head.get("stage_timings", {}),
             results=head.get("results", {}),
             schema=head.get("schema", MANIFEST_SCHEMA_VERSION),

@@ -8,6 +8,7 @@ from repro.simulation.faults import (
     full_fault_universe,
 )
 from repro.simulation.logic_sim import LogicSimulator, pack_patterns, unpack_word
+from repro.simulation.parallel import DEFAULT_CROSSOVER, ParallelFaultSimulator
 from repro.simulation.transition import (
     TransitionFault,
     TransitionFaultSimulator,
@@ -16,10 +17,12 @@ from repro.simulation.transition import (
 )
 
 __all__ = [
+    "DEFAULT_CROSSOVER",
     "FaultSimResult",
     "FaultSimulator",
     "FaultSite",
     "LogicSimulator",
+    "ParallelFaultSimulator",
     "StuckAtFault",
     "TransitionFault",
     "TransitionFaultSimulator",

@@ -1,0 +1,182 @@
+"""Multi-core fault-simulation fan-out.
+
+:class:`ParallelFaultSimulator` partitions the fault list across a
+``concurrent.futures.ProcessPoolExecutor``.  Each worker builds the compiled
+engine once and receives the packed pattern groups once, through the pool
+initializer; per-task traffic is just a fault sublist out and two small
+result maps back.  Per-fault outcomes are independent (dropping one fault
+never changes another fault's detections), so any partition of the fault
+list reproduces the serial engine bit-exactly — the property tests in
+``tests/test_wide_word.py`` assert it.
+
+The fan-out degrades gracefully: below a work crossover (``n_faults x
+n_patterns``), with one worker, or when the pool cannot start (restricted
+environments, missing ``fork``/``spawn`` support), the serial
+:class:`~repro.simulation.fault_sim.FaultSimulator` runs in-process instead.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+from repro import obs
+from repro.circuit.library import DEFAULT_WORD_WIDTH
+from repro.circuit.netlist import Circuit
+from repro.simulation.fault_sim import FaultSimResult, FaultSimulator
+from repro.simulation.faults import StuckAtFault, full_fault_universe
+from repro.simulation.logic_sim import pack_patterns
+
+__all__ = ["ParallelFaultSimulator", "DEFAULT_CROSSOVER"]
+
+#: Below this many fault x pattern evaluations the pool start-up and pickling
+#: overhead outweighs the fan-out; the serial engine runs instead.
+DEFAULT_CROSSOVER = 2_000_000
+
+# Worker-process state, installed once per worker by _init_worker.
+_WORKER_SIM: FaultSimulator | None = None
+_WORKER_GROUPS: list[list[int]] | None = None
+_WORKER_N_PATTERNS: int = 0
+
+
+def _init_worker(circuit: Circuit, width: int, patterns: list[list[int]]) -> None:
+    """Pool initializer: compile the engine and pack the patterns once."""
+    global _WORKER_SIM, _WORKER_GROUPS, _WORKER_N_PATTERNS
+    _WORKER_SIM = FaultSimulator(circuit, width=width)
+    _WORKER_GROUPS = pack_patterns(
+        patterns, len(circuit.primary_inputs), width
+    )
+    _WORKER_N_PATTERNS = len(patterns)
+
+
+def _simulate_chunk(
+    faults: list[StuckAtFault], drop_detected: bool
+) -> tuple[dict[StuckAtFault, int], dict[StuckAtFault, int]]:
+    """Simulate one fault chunk against the worker's packed groups."""
+    assert _WORKER_SIM is not None and _WORKER_GROUPS is not None
+    result = _WORKER_SIM.run_packed(
+        _WORKER_GROUPS, _WORKER_N_PATTERNS, faults, drop_detected
+    )
+    return result.first_detection, result.detection_counts
+
+
+class ParallelFaultSimulator:
+    """Fault simulator that fans the fault list out over worker processes.
+
+    Drop-in compatible with :class:`FaultSimulator.run`; results are
+    bit-exact with the serial engine for both drop modes.
+
+    Parameters
+    ----------
+    circuit:
+        The combinational circuit under test.
+    width:
+        Packed-word width forwarded to every worker's engine.
+    max_workers:
+        Worker process count; defaults to the machine's CPU count.
+    crossover:
+        Minimum ``n_faults * n_patterns`` before the pool is worth starting;
+        smaller jobs run serially in-process.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        width: int = DEFAULT_WORD_WIDTH,
+        max_workers: int | None = None,
+        crossover: int = DEFAULT_CROSSOVER,
+    ):
+        self.circuit = circuit
+        self.width = width
+        self.max_workers = max_workers or os.cpu_count() or 1
+        self.crossover = crossover
+        self.serial = FaultSimulator(circuit, width=width)
+        #: Engine used by the last :meth:`run` call: "serial" or "parallel".
+        self.last_engine: str = "serial"
+        #: Worker count of the last parallel run (1 when serial).
+        self.last_workers: int = 1
+
+    def engine_info(self) -> dict[str, object]:
+        """Engine descriptor of the last run, for run manifests."""
+        return {
+            "engine": self.last_engine,
+            "word_width": self.width,
+            "workers": self.last_workers,
+        }
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        patterns: Sequence[Sequence[int]],
+        faults: list[StuckAtFault] | None = None,
+        drop_detected: bool = True,
+    ) -> FaultSimResult:
+        """Fault-simulate ``patterns``, fanning out when the job is big enough."""
+        if faults is None:
+            faults = full_fault_universe(self.circuit)
+        workers = min(self.max_workers, max(1, len(faults)))
+        work = len(faults) * len(patterns)
+        if workers <= 1 or work < self.crossover:
+            self.last_engine, self.last_workers = "serial", 1
+            return self.serial.run(patterns, faults, drop_detected)
+
+        result = self._run_pool(patterns, faults, drop_detected, workers)
+        if result is None:  # pool failed to start or died: degrade
+            self.last_engine, self.last_workers = "serial", 1
+            return self.serial.run(patterns, faults, drop_detected)
+        return result
+
+    def _run_pool(
+        self,
+        patterns: Sequence[Sequence[int]],
+        faults: list[StuckAtFault],
+        drop_detected: bool,
+        workers: int,
+    ) -> FaultSimResult | None:
+        from concurrent.futures import ProcessPoolExecutor
+
+        pattern_rows = [list(p) for p in patterns]
+        # Stride the partition: cone sizes correlate with list position, so
+        # contiguous chunks would load-balance badly.  Striding interleaves
+        # cheap and expensive faults; results are order-independent.
+        n_chunks = workers
+        chunks = [faults[i::n_chunks] for i in range(n_chunks)]
+        first_detection: dict[StuckAtFault, int] = {}
+        detection_counts: dict[StuckAtFault, int] = {}
+        try:
+            with obs.span(
+                "fault_sim.parallel",
+                n_patterns=len(pattern_rows),
+                n_faults=len(faults),
+                word_width=self.width,
+                workers=workers,
+            ):
+                with ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_init_worker,
+                    initargs=(self.circuit, self.width, pattern_rows),
+                ) as pool:
+                    for chunk_first, chunk_counts in pool.map(
+                        _simulate_chunk,
+                        chunks,
+                        [drop_detected] * len(chunks),
+                    ):
+                        first_detection.update(chunk_first)
+                        detection_counts.update(chunk_counts)
+        except Exception:  # noqa: BLE001 - any pool failure degrades to serial
+            return None
+
+        self.last_engine, self.last_workers = "parallel", workers
+        obs.set_gauge("fault_sim.workers", workers)
+        obs.set_gauge("fault_sim.word_width", self.width)
+        obs.inc("fault_sim.patterns_applied", len(pattern_rows))
+        obs.inc("fault_sim.faults_simulated", len(faults))
+        if drop_detected:
+            obs.inc("fault_sim.faults_dropped", len(first_detection))
+        obs.inc("fault_sim.detections", sum(detection_counts.values()))
+        return FaultSimResult(
+            faults=list(faults),
+            first_detection=first_detection,
+            n_patterns=len(pattern_rows),
+            detection_counts=detection_counts,
+        )

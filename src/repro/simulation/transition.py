@@ -85,10 +85,14 @@ class TransitionSimResult:
 class TransitionFaultSimulator:
     """Two-pattern (launch/capture) transition-fault simulation."""
 
-    def __init__(self, circuit: Circuit):
+    def __init__(self, circuit: Circuit, width: int | None = None):
         circuit.validate()
         self.circuit = circuit
-        self.stuck = FaultSimulator(circuit)
+        if width is None:
+            self.stuck = FaultSimulator(circuit)
+        else:
+            self.stuck = FaultSimulator(circuit, width=width)
+        self.width = self.stuck.width
 
     def run(
         self,
@@ -99,7 +103,8 @@ class TransitionFaultSimulator:
         if faults is None:
             faults = transition_universe(self.circuit)
         n_inputs = len(self.circuit.primary_inputs)
-        groups = pack_patterns(patterns, n_inputs)
+        width = self.width
+        groups = pack_patterns(patterns, n_inputs, width)
         goods = [self.stuck.logic.simulate_packed(words) for words in groups]
 
         result = TransitionSimResult(
@@ -110,8 +115,8 @@ class TransitionFaultSimulator:
         for g, good in enumerate(goods):
             if not active:
                 break
-            base = g * 64
-            n_here = min(64, len(patterns) - base)
+            base = g * width
+            n_here = min(width, len(patterns) - base)
             group_mask = (1 << n_here) - 1
             survivors = []
             for fault in active:

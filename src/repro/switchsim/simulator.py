@@ -132,6 +132,7 @@ class SwitchLevelFaultSimulator:
         self.design = design
         self.mapped = design.mapped
         self.fault_sim = FaultSimulator(self.mapped)
+        self.width = self.fault_sim.width
         self.patterns = [list(p) for p in patterns]
         self.n_patterns = len(self.patterns)
         if not 0 < v_low <= 0.5 <= v_high < 1:
@@ -153,13 +154,14 @@ class SwitchLevelFaultSimulator:
     # ------------------------------------------------------------------
     def _simulate_good(self) -> None:
         n_inputs = len(self.mapped.primary_inputs)
-        self.groups = pack_patterns(self.patterns, n_inputs)
+        width = self.width
+        self.groups = pack_patterns(self.patterns, n_inputs, width)
         self.good: list[dict[str, int]] = [
             self.fault_sim.logic.simulate_packed(words) for words in self.groups
         ]
         self.group_masks = []
         for g in range(len(self.groups)):
-            n_here = min(64, self.n_patterns - g * 64)
+            n_here = min(width, self.n_patterns - g * width)
             self.group_masks.append((1 << n_here) - 1)
 
         # Per-net value arrays over all vectors (numpy uint8).
@@ -169,8 +171,8 @@ class SwitchLevelFaultSimulator:
             bits = np.zeros(self.n_patterns, dtype=np.uint8)
             for g, good in enumerate(self.good):
                 word = good[net]
-                base = g * 64
-                n_here = min(64, self.n_patterns - base)
+                base = g * width
+                n_here = min(width, self.n_patterns - base)
                 for b in range(n_here):
                     bits[base + b] = (word >> b) & 1
             self.values[net] = bits
@@ -249,9 +251,10 @@ class SwitchLevelFaultSimulator:
     # ------------------------------------------------------------------
     def _mask_words(self, mask: np.ndarray) -> list[int]:
         words = []
+        width = self.width
         for g in range(len(self.groups)):
-            base = g * 64
-            n_here = min(64, self.n_patterns - base)
+            base = g * width
+            n_here = min(width, self.n_patterns - base)
             word = 0
             for b in range(n_here):
                 if mask[base + b]:
@@ -282,7 +285,7 @@ class SwitchLevelFaultSimulator:
                     diff = self.fault_sim.detection_word_multi(forces, good)
                 hit |= diff & word
             if hit:
-                return g * 64 + ((hit & -hit).bit_length() - 1) + 1
+                return g * self.width + ((hit & -hit).bit_length() - 1) + 1
         return None
 
     @staticmethod

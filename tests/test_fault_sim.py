@@ -92,6 +92,30 @@ def test_coverage_curve_monotone(c17_circuit):
     assert result.coverage == result.coverage_at(result.n_patterns)
 
 
+def test_coverage_curve_matches_per_k_recount(c17_circuit):
+    """The single-pass curve equals the old per-k O(F*K) recount."""
+    sim = FaultSimulator(c17_circuit)
+    rng = random.Random(17)
+    patterns = [[rng.randint(0, 1) for _ in range(5)] for _ in range(96)]
+    result = sim.run(patterns, faults=collapse_faults(c17_circuit))
+    reference = [
+        (k, result.coverage_at(k))
+        for k in sorted(set(result.first_detection.values()))
+    ]
+    assert result.coverage_curve() == reference
+
+
+def test_coverage_curve_empty_universe():
+    ckt = Circuit(name="empty_curve")
+    ckt.add_input("a")
+    ckt.add_gate(GateType.BUF, ["a"], "z")
+    ckt.add_output("z")
+    sim = FaultSimulator(ckt)
+    result = sim.run([[0], [1]], faults=[])
+    assert result.coverage_curve() == []
+    assert result.coverage == 1.0
+
+
 def test_full_coverage_c17(c17_circuit):
     """c17 is fully testable; enough random vectors reach 100 %."""
     sim = FaultSimulator(c17_circuit)

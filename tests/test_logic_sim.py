@@ -34,10 +34,30 @@ def test_pack_patterns_layout():
 
 def test_pack_patterns_multiple_groups():
     patterns = [[1]] * 130
-    groups = pack_patterns(patterns, 1)
+    groups = pack_patterns(patterns, 1, width=64)
     assert len(groups) == 3
     assert groups[0][0] == (1 << 64) - 1
     assert groups[2][0] == 0b11
+
+
+def test_pack_patterns_default_width_is_wide():
+    # The engine default packs 256 patterns per word; 130 fit in one group.
+    patterns = [[1]] * 130
+    groups = pack_patterns(patterns, 1)
+    assert len(groups) == 1
+    assert groups[0][0] == (1 << 130) - 1
+
+
+def test_pack_patterns_rejects_bad_width():
+    with pytest.raises(ValueError, match="width"):
+        pack_patterns([[1]], 1, width=0)
+
+
+def test_simulator_width_equivalence(c17_circuit):
+    wide = LogicSimulator(c17_circuit, width=256)
+    narrow = LogicSimulator(c17_circuit, width=64)
+    patterns = patterns_from_ints(range(32), 5)
+    assert wide.run_patterns(patterns) == narrow.run_patterns(patterns)
 
 
 def test_pack_patterns_width_mismatch():

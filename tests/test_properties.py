@@ -167,7 +167,7 @@ def test_podem_agrees_with_exhaustive_detectability(ckt):
     n = len(ckt.primary_inputs)
     vectors = [[(c >> i) & 1 for i in range(n)] for c in range(2**n)]
     for fault in collapse_faults(ckt):
-        detectable = any(sim.detects(fault, v) for v in vectors)
+        detectable = sim.detects_any(fault, vectors)
         outcome = atpg.generate(fault)
         if outcome.status == AtpgStatus.TESTED:
             assert detectable
