@@ -11,7 +11,7 @@ assumption in the paper's model is *conservative*.
 
 import pytest
 
-from repro.core import clustered_defect_level, ppm, williams_brown
+from repro.core import clustered_defect_level, ppm
 from repro.experiments import format_table
 
 

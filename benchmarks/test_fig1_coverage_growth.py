@@ -5,7 +5,6 @@ k up to 1e6.  Expected shape: theta(k) rises faster than T(k) (R = 2) and
 saturates at theta_max while T keeps creeping toward 1.
 """
 
-import math
 
 import pytest
 

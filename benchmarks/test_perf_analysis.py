@@ -1,0 +1,65 @@
+"""Performance guards for the static-analysis subsystem.
+
+The implication screen is the only super-linear piece of the analysis
+pass, so these benches pin its work counters (closures computed, queue
+steps taken) on the largest built-in circuit and time the full
+``analyze_circuit`` facade.  The dominance-collapsing guard is a pure
+invariant: layering dominance on top of equivalence must never grow the
+collapsed fault list.
+"""
+
+import pytest
+
+from repro.analysis import (
+    ImplicationEngine,
+    analyze_circuit,
+    compute_scoap,
+    dominance_collapse,
+    find_untestable_faults,
+)
+from repro.circuit import BENCHMARKS, load_benchmark
+from repro.circuit.iscas import c880_like
+from repro.simulation import collapse_faults
+
+# Measured on c880_like: ~1.9k closures / ~203k queue steps.  The bounds
+# leave ~2.5x headroom so refactors fail loudly only on real regressions.
+MAX_CLOSURES = 5_000
+MAX_QUEUE_STEPS = 1_000_000
+
+
+@pytest.fixture(scope="module")
+def c880():
+    return c880_like()
+
+
+def test_perf_scoap_c880(benchmark, c880):
+    measures = benchmark(compute_scoap, c880)
+    assert len(measures.cc0) == len(c880.nets)
+
+
+def test_perf_implication_screen_c880(benchmark, c880):
+    def screen():
+        engine = ImplicationEngine(c880)
+        return find_untestable_faults(c880, engine=engine), engine
+
+    report, engine = benchmark.pedantic(screen, rounds=2, iterations=1)
+    # Work-bound guard: the screen must stay within a fixed budget even
+    # as heuristics evolve, or the pre-simulation pass stops being cheap.
+    assert engine.stats["closures"] <= MAX_CLOSURES
+    assert engine.stats["steps"] <= MAX_QUEUE_STEPS
+    assert report.n_screened > 0
+
+
+def test_perf_analyze_facade_c880(benchmark, c880):
+    result = benchmark.pedantic(analyze_circuit, args=(c880,), rounds=2, iterations=1)
+    assert result.ok
+    assert result.untestable is not None
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_dominance_never_grows_fault_list(name):
+    circuit = load_benchmark(name)
+    equivalence_only = collapse_faults(circuit)
+    dominance = dominance_collapse(circuit)
+    assert len(dominance.collapsed) <= len(equivalence_only)
+    assert set(dominance.collapsed) <= set(equivalence_only)

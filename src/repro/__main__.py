@@ -5,12 +5,22 @@ Usage::
     python -m repro [benchmark] [--svg layout.svg] [--technique voltage]
                     [--seed N] [--max-random-patterns N]
                     [--profile] [--trace run.jsonl]
+    python -m repro analyze [circuit ...] [--quick] [--json FILE]
+                    [--fail-on-error]
 
-Prints the coverage-growth table (fig. 4), the defect-level comparison
-(fig. 5) and the fitted eq.-11 parameters; optionally renders the generated
-layout to SVG.  ``--profile`` prints a per-stage timing tree and a metric
-table after the run; ``--trace FILE`` appends a JSON-lines run manifest
-(config hash, stage durations, metrics, fitted parameters) to ``FILE``.
+The default command prints the coverage-growth table (fig. 4), the
+defect-level comparison (fig. 5) and the fitted eq.-11 parameters;
+optionally renders the generated layout to SVG.  ``--profile`` prints a
+per-stage timing tree and a metric table after the run; ``--trace FILE``
+appends a JSON-lines run manifest (config hash, stage durations, metrics,
+fitted parameters) to ``FILE``.
+
+``analyze`` runs the static-analysis subsystem (lint, SCOAP testability,
+implication-based untestable-fault screening) over one or more built-in
+circuits without simulating anything; ``--quick`` skips the implication
+screen, ``--json FILE`` writes the machine-readable report, and
+``--fail-on-error`` exits non-zero when any circuit has ERROR-severity
+findings (the CI gate).
 """
 
 from __future__ import annotations
@@ -85,7 +95,98 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_analyze_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro analyze",
+        description="Static netlist analysis: lint, SCOAP, untestable faults.",
+    )
+    parser.add_argument(
+        "circuits",
+        nargs="*",
+        metavar="circuit",
+        help="circuits to analyze (default: every built-in benchmark)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="skip the implication-based untestable-fault screen",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="FILE",
+        help="write the full machine-readable report to FILE",
+    )
+    parser.add_argument(
+        "--fail-on-error",
+        action="store_true",
+        help="exit 1 when any circuit has ERROR-severity lint findings",
+    )
+    return parser
+
+
+def analyze_main(argv: list[str] | None = None) -> int:
+    """Entry point of ``python -m repro analyze``."""
+    import json
+
+    from repro.analysis import analyze_circuit
+    from repro.circuit.iscas import load_benchmark
+
+    args = build_analyze_parser().parse_args(argv)
+    names = args.circuits or sorted(BENCHMARKS)
+    unknown = [n for n in names if n not in BENCHMARKS]
+    if unknown:
+        print(
+            f"error: unknown circuit(s): {', '.join(unknown)} "
+            f"(choose from {', '.join(sorted(BENCHMARKS))})",
+            file=sys.stderr,
+        )
+        return 2
+
+    reports = []
+    any_errors = False
+    for name in names:
+        circuit = load_benchmark(name)
+        result = analyze_circuit(circuit, quick=args.quick)
+        reports.append(result.to_dict())
+        any_errors = any_errors or not result.ok
+        print(result.lint.render_text())
+        if result.scoap is not None:
+            from repro.analysis import UNOBSERVABLE
+
+            hardest = ", ".join(
+                f"{net} ({'unobservable' if score >= UNOBSERVABLE else score})"
+                for net, score in result.scoap.hardest_nets(3)
+            )
+            print(f"  scoap: hardest nets {hardest}")
+        if result.untestable is not None:
+            n_flagged = len(result.untestable.untestable)
+            print(
+                f"  untestable: {n_flagged} of "
+                f"{result.untestable.n_screened} faults proved untestable"
+            )
+            for fault in result.untestable.untestable[:10]:
+                reason = result.untestable.reasons[fault]
+                print(f"    {fault}  [{reason}]")
+            if n_flagged > 10:
+                print(f"    ... and {n_flagged - 10} more")
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as sink:
+            json.dump({"circuits": reports}, sink, indent=2, sort_keys=True)
+            sink.write("\n")
+        print(f"report written to {args.json}")
+
+    if args.fail_on_error and any_errors:
+        print("error: ERROR-severity lint findings present", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "analyze":
+        return analyze_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     if args.trace:
@@ -180,6 +281,8 @@ def main(argv: list[str] | None = None) -> int:
                 "final_DL": final_dl,
                 "n_patterns": len(result.test_patterns),
                 "n_random": result.n_random,
+                "n_redundant": len(result.redundant_faults),
+                "n_untestable_static": len(result.static_untestable),
             },
         )
         n_records = manifest.write(args.trace)

@@ -1,0 +1,149 @@
+"""Dominance-based fault collapsing, layered on equivalence collapsing.
+
+Fault ``A`` *dominates* fault ``B`` when every test that detects ``B`` also
+detects ``A`` — so a test set covering ``B`` covers ``A`` for free and ``A``
+can be dropped from the target list.  The gate-local instances are classical
+(Poage/To): for an n-input AND, any test for an input stuck-at-1 must set the
+remaining inputs non-controlling and propagate the output change, which is
+precisely a test for the output stuck-at-1.  Per gate type the droppable
+output fault is::
+
+    AND  out/sa1    NAND out/sa0    OR   out/sa0    NOR  out/sa1
+
+XOR-family and single-input gates give no dominance beyond equivalence.
+
+Dominance is transitive (it is containment of test sets), so chains of drops
+are sound: every dropped class is dominated by a *witness* fault on one of the
+gate's input pins, and witness chains walk strictly toward the inputs,
+terminating at checkpoint faults (primary-input stems and fanout branches)
+which are never gate outputs and hence never dropped.
+
+The drop is conservative about observability bookkeeping: a class is kept
+when the gate output is a primary output or the class contains any stem fault
+on a primary-output net, mirroring the PO-awareness of the equivalence pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuit.library import GateType
+from repro.circuit.netlist import Circuit
+from repro.simulation.faults import (
+    FaultSite,
+    StuckAtFault,
+    collapse_with_classes,
+    fanout_pin_counts,
+)
+
+__all__ = ["DominanceResult", "dominance_collapse"]
+
+# Gate type -> stuck value of the *output* fault dominated by the gate's
+# non-controlling input faults (and therefore droppable).
+_DOMINATED_OUTPUT_VALUE = {
+    GateType.AND: 1,
+    GateType.NAND: 0,
+    GateType.OR: 0,
+    GateType.NOR: 1,
+}
+
+# Gate type -> non-controlling input value (the witness faults' stuck value).
+_NONCONTROLLING_INPUT = {
+    GateType.AND: 1,
+    GateType.NAND: 1,
+    GateType.OR: 0,
+    GateType.NOR: 0,
+}
+
+
+@dataclass
+class DominanceResult:
+    """Outcome of one dominance-collapse pass.
+
+    Attributes
+    ----------
+    collapsed:
+        Surviving representative faults, a subset of the equivalence-collapsed
+        list in its original order.
+    dropped:
+        Representatives removed by dominance, each with the witness fault that
+        dominates-covers it (rep -> witness).
+    rep_of:
+        Fault -> surviving representative.  Faults of dropped classes map to
+        the representative of their witness's class, following chains.
+    """
+
+    collapsed: list[StuckAtFault] = field(default_factory=list)
+    dropped: dict[StuckAtFault, StuckAtFault] = field(default_factory=dict)
+    rep_of: dict[StuckAtFault, StuckAtFault] = field(default_factory=dict)
+
+    @property
+    def n_dropped(self) -> int:
+        """Number of equivalence classes removed by dominance."""
+        return len(self.dropped)
+
+
+def dominance_collapse(
+    circuit: Circuit, faults: list[StuckAtFault] | None = None
+) -> DominanceResult:
+    """Equivalence-collapse ``faults`` then drop dominated output classes.
+
+    The result is always a subset of :func:`collapse_faults`'s output (never
+    larger), and any test set detecting every surviving fault detects every
+    dropped fault too — the property the dominance benchmark guard asserts.
+    """
+    collapsed, eq_rep_of = collapse_with_classes(circuit, faults)
+
+    members: dict[StuckAtFault, list[StuckAtFault]] = {}
+    for fault, rep in eq_rep_of.items():
+        members.setdefault(rep, []).append(fault)
+
+    fanout_count = fanout_pin_counts(circuit)
+    po_set = set(circuit.primary_outputs)
+
+    def witness_fault(gate_name: str, pin: int, net: str, value: int) -> StuckAtFault:
+        if fanout_count.get(net, 0) > 1:
+            return StuckAtFault(net, value, FaultSite.GATE_INPUT, gate_name, pin)
+        return StuckAtFault(net, value)
+
+    dropped: dict[StuckAtFault, StuckAtFault] = {}
+    for gate in circuit.gates:
+        out_value = _DOMINATED_OUTPUT_VALUE.get(gate.gate_type)
+        if out_value is None or len(gate.inputs) < 2:
+            continue
+        if gate.output in po_set:
+            continue
+        rep = eq_rep_of.get(StuckAtFault(gate.output, out_value))
+        if rep is None or rep in dropped:
+            continue
+        if any(
+            m.site is FaultSite.NET and m.net in po_set for m in members[rep]
+        ):
+            continue
+        nc = _NONCONTROLLING_INPUT[gate.gate_type]
+        witness: StuckAtFault | None = None
+        for pin, net in enumerate(gate.inputs):
+            candidate = witness_fault(gate.name, pin, net, nc)
+            wrep = eq_rep_of.get(candidate)
+            if wrep is not None and wrep != rep:
+                witness = candidate
+                break
+        if witness is not None:
+            dropped[rep] = witness
+
+    surviving = [f for f in collapsed if f not in dropped]
+
+    # Re-point faults of dropped classes at their witness's surviving
+    # representative, following dominance chains (guaranteed acyclic: each
+    # witness sits strictly upstream of the dropped output).
+    def surviving_rep(rep: StuckAtFault) -> StuckAtFault:
+        seen: set[StuckAtFault] = set()
+        while rep in dropped:
+            if rep in seen:  # pragma: no cover - chains walk toward inputs
+                break
+            seen.add(rep)
+            rep = eq_rep_of[dropped[rep]]
+        return rep
+
+    rep_of = {fault: surviving_rep(rep) for fault, rep in eq_rep_of.items()}
+    return DominanceResult(collapsed=surviving, dropped=dropped, rep_of=rep_of)

@@ -1,0 +1,372 @@
+"""Structural netlist linter: typed findings over a :class:`Circuit`.
+
+The linter is the static front door of the analysis subsystem: it checks a
+netlist for structural defects *before* any simulation or ATPG runs, and it
+never raises — broken circuits produce ERROR findings instead of exceptions,
+so one pass can report every problem at once (unlike ``Circuit.validate``,
+which raises on the first).  The two agree by construction: ``validate()``
+raises if and only if the linter emits at least one ERROR finding.
+
+Rules (see ``docs/ANALYSIS.md`` for the full table):
+
+========================  ========  =============================================
+rule                      severity  meaning
+========================  ========  =============================================
+``multi-driven-net``      ERROR     net driven by more than one gate (or a PI)
+``undriven-net``          ERROR     gate input or primary output nothing drives
+``combinational-cycle``   ERROR     feedback loop; the actual cycle is reported
+``dangling-output``       WARNING   gate output that is read by nothing, not a PO
+``unreachable-logic``     WARNING   gate with no structural path to any PO
+``constant-net``          WARNING   net provably constant (tied/duplicate inputs)
+``tied-input``            WARNING   gate reading the same net on several pins
+``unused-input``          INFO      primary input read by nothing
+``high-fanout``           INFO      net feeding :data:`HIGH_FANOUT_THRESHOLD`+ pins
+========================  ========  =============================================
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.circuit.levelize import find_combinational_cycle, input_cone
+from repro.circuit.netlist import Circuit
+
+__all__ = [
+    "HIGH_FANOUT_THRESHOLD",
+    "Severity",
+    "LintFinding",
+    "LintReport",
+    "lint_circuit",
+]
+
+#: Fanout (reader-pin count) at or above which a net gets an INFO finding.
+HIGH_FANOUT_THRESHOLD = 16
+
+_SEVERITY_RANK = {"info": 0, "warning": 1, "error": 2}
+
+
+class Severity(str, Enum):
+    """How bad a lint finding is."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        """Numeric ordering: INFO < WARNING < ERROR."""
+        return _SEVERITY_RANK[self.value]
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One linter diagnostic.
+
+    Attributes
+    ----------
+    rule:
+        Stable rule identifier (kebab-case, see the module table).
+    severity:
+        :class:`Severity` of the finding.
+    message:
+        Human-readable description naming the nets/gates involved.
+    nets:
+        Net names the finding is about (ordered; e.g. the actual cycle).
+    gates:
+        Gate names the finding is about.
+    """
+
+    rule: str
+    severity: Severity
+    message: str
+    nets: tuple[str, ...] = ()
+    gates: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-able record of the finding."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+            "nets": list(self.nets),
+            "gates": list(self.gates),
+        }
+
+
+@dataclass
+class LintReport:
+    """All findings of one lint pass, plus circuit-shape statistics.
+
+    Attributes
+    ----------
+    circuit:
+        Name of the linted circuit.
+    findings:
+        All findings, in rule order (errors first within discovery order).
+    fanout_histogram:
+        Reader-pin count -> number of nets with that fanout (POs count as
+        one extra reader, matching the fault-universe convention).
+    stats:
+        Summary counts (inputs/outputs/gates/nets, findings by severity).
+    constants:
+        Provably-constant nets discovered by constant propagation
+        (net -> 0/1); consumed by the implication engine.
+    """
+
+    circuit: str
+    findings: list[LintFinding] = field(default_factory=list)
+    fanout_histogram: dict[int, int] = field(default_factory=dict)
+    stats: dict[str, int] = field(default_factory=dict)
+    constants: dict[str, int] = field(default_factory=dict)
+
+    def by_severity(self, severity: Severity) -> list[LintFinding]:
+        """Findings at exactly ``severity``."""
+        return [f for f in self.findings if f.severity is severity]
+
+    @property
+    def errors(self) -> list[LintFinding]:
+        """ERROR findings (circuit is structurally invalid)."""
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> list[LintFinding]:
+        """WARNING findings (valid but suspicious / redundant structure)."""
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def max_severity(self) -> Severity | None:
+        """Worst severity present, or None for a clean report."""
+        if not self.findings:
+            return None
+        return max((f.severity for f in self.findings), key=lambda s: s.rank)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-able report record."""
+        return {
+            "circuit": self.circuit,
+            "findings": [f.to_dict() for f in self.findings],
+            "fanout_histogram": {
+                str(k): v for k, v in sorted(self.fanout_histogram.items())
+            },
+            "stats": dict(self.stats),
+            "constants": dict(self.constants),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """The report as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def render_text(self) -> str:
+        """Plain-text report: one line per finding plus a summary."""
+        lines = [f"lint {self.circuit}: {self._summary()}"]
+        for finding in self.findings:
+            lines.append(
+                f"  {finding.severity.value.upper():7s} "
+                f"[{finding.rule}] {finding.message}"
+            )
+        if self.fanout_histogram:
+            peak = max(self.fanout_histogram)
+            lines.append(
+                f"  fanout: {sum(self.fanout_histogram.values())} nets, "
+                f"max {peak} reader pins"
+            )
+        return "\n".join(lines)
+
+    def _summary(self) -> str:
+        n_err = len(self.errors)
+        n_warn = len(self.warnings)
+        n_info = len(self.by_severity(Severity.INFO))
+        if not self.findings:
+            return "clean"
+        return f"{n_err} error(s), {n_warn} warning(s), {n_info} info"
+
+
+def lint_circuit(circuit: Circuit) -> LintReport:
+    """Run every lint rule over ``circuit`` and return the report.
+
+    Structural (ERROR-class) rules always run; dataflow rules that need a
+    topological order (constant propagation) are skipped when the structure
+    is too broken to order (cycles / undriven nets), mirroring how the rest
+    of the pipeline would fail on such a circuit.
+    """
+    report = LintReport(circuit=circuit.name)
+    findings = report.findings
+
+    driven_by: dict[str, list[str]] = {pi: ["<PI>"] for pi in circuit.primary_inputs}
+    for gate in circuit.gates:
+        driven_by.setdefault(gate.output, []).append(gate.name)
+
+    # --- multi-driven-net -------------------------------------------------
+    for net, drivers in driven_by.items():
+        if len(drivers) > 1:
+            findings.append(
+                LintFinding(
+                    rule="multi-driven-net",
+                    severity=Severity.ERROR,
+                    message=f"net {net!r} has {len(drivers)} drivers: "
+                    + ", ".join(drivers),
+                    nets=(net,),
+                    gates=tuple(d for d in drivers if d != "<PI>"),
+                )
+            )
+
+    # --- undriven-net -----------------------------------------------------
+    undriven: dict[str, list[str]] = {}
+    for gate in circuit.gates:
+        for net in gate.inputs:
+            if net not in driven_by:
+                undriven.setdefault(net, []).append(gate.name)
+    for po in circuit.primary_outputs:
+        if po not in driven_by:
+            undriven.setdefault(po, []).append("<PO>")
+    for net in sorted(undriven):
+        readers = undriven[net]
+        findings.append(
+            LintFinding(
+                rule="undriven-net",
+                severity=Severity.ERROR,
+                message=f"net {net!r} is read by {', '.join(readers)} "
+                "but nothing drives it",
+                nets=(net,),
+                gates=tuple(r for r in readers if not r.startswith("<")),
+            )
+        )
+
+    # --- combinational-cycle ----------------------------------------------
+    cycle = find_combinational_cycle(circuit)
+    if cycle is not None:
+        loop = " -> ".join([*cycle, cycle[0]])
+        findings.append(
+            LintFinding(
+                rule="combinational-cycle",
+                severity=Severity.ERROR,
+                message=f"combinational cycle: {loop}",
+                nets=tuple(cycle),
+            )
+        )
+
+    # --- fanout census (also feeds the histogram and high-fanout rule) ----
+    fanout_count: dict[str, int] = dict.fromkeys(driven_by, 0)
+    for gate in circuit.gates:
+        for net in gate.inputs:
+            if net in fanout_count:
+                fanout_count[net] += 1
+    for po in circuit.primary_outputs:
+        if po in fanout_count:
+            fanout_count[po] += 1
+    histogram: dict[int, int] = {}
+    for count in fanout_count.values():
+        histogram[count] = histogram.get(count, 0) + 1
+    report.fanout_histogram = histogram
+
+    pi_set = set(circuit.primary_inputs)
+
+    # --- dangling-output / unused-input -----------------------------------
+    for gate in circuit.gates:
+        if fanout_count.get(gate.output, 0) == 0:
+            findings.append(
+                LintFinding(
+                    rule="dangling-output",
+                    severity=Severity.WARNING,
+                    message=f"gate {gate.name!r} drives net {gate.output!r} "
+                    "which nothing reads",
+                    nets=(gate.output,),
+                    gates=(gate.name,),
+                )
+            )
+    for pi in circuit.primary_inputs:
+        if fanout_count.get(pi, 0) == 0:
+            findings.append(
+                LintFinding(
+                    rule="unused-input",
+                    severity=Severity.INFO,
+                    message=f"primary input {pi!r} is read by nothing",
+                    nets=(pi,),
+                )
+            )
+
+    # --- unreachable-logic -------------------------------------------------
+    reachable: set[str] = set()
+    for po in circuit.primary_outputs:
+        if po in driven_by:
+            reachable |= input_cone(circuit, po)
+    for gate in circuit.gates:
+        if gate.output in reachable:
+            continue
+        if fanout_count.get(gate.output, 0) == 0:
+            continue  # already reported as dangling-output
+        findings.append(
+            LintFinding(
+                rule="unreachable-logic",
+                severity=Severity.WARNING,
+                message=f"gate {gate.name!r} has no structural path to any "
+                "primary output",
+                nets=(gate.output,),
+                gates=(gate.name,),
+            )
+        )
+
+    # --- tied-input --------------------------------------------------------
+    for gate in circuit.gates:
+        if len(set(gate.inputs)) < len(gate.inputs):
+            dupes = sorted(
+                {net for net in gate.inputs if gate.inputs.count(net) > 1}
+            )
+            findings.append(
+                LintFinding(
+                    rule="tied-input",
+                    severity=Severity.WARNING,
+                    message=f"gate {gate.name!r} reads {', '.join(dupes)} on "
+                    "multiple pins (tied inputs make pin faults untestable)",
+                    nets=tuple(dupes),
+                    gates=(gate.name,),
+                )
+            )
+
+    # --- high-fanout -------------------------------------------------------
+    for net in sorted(fanout_count):
+        if fanout_count[net] >= HIGH_FANOUT_THRESHOLD:
+            findings.append(
+                LintFinding(
+                    rule="high-fanout",
+                    severity=Severity.INFO,
+                    message=f"net {net!r} feeds {fanout_count[net]} pins",
+                    nets=(net,),
+                )
+            )
+
+    # --- constant-net (needs a topological order) --------------------------
+    structurally_sound = not undriven and cycle is None and not any(
+        len(d) > 1 for d in driven_by.values()
+    )
+    if structurally_sound:
+        from repro.analysis.implication import propagate_constants
+
+        constants = propagate_constants(circuit)
+        report.constants = constants
+        for net in sorted(constants):
+            if net in pi_set:
+                continue
+            findings.append(
+                LintFinding(
+                    rule="constant-net",
+                    severity=Severity.WARNING,
+                    message=f"net {net!r} is constant {constants[net]} under "
+                    "every input assignment",
+                    nets=(net,),
+                )
+            )
+
+    findings.sort(key=lambda f: -f.severity.rank)
+    report.stats = {
+        "inputs": len(circuit.primary_inputs),
+        "outputs": len(circuit.primary_outputs),
+        "gates": len(circuit.gates),
+        "nets": len(driven_by),
+        "errors": len(report.errors),
+        "warnings": len(report.warnings),
+        "infos": len(report.by_severity(Severity.INFO)),
+    }
+    return report

@@ -1,0 +1,150 @@
+"""SCOAP testability measures (Goldstein 1980): CC0/CC1/CO per net.
+
+Combinational controllability ``CC0(n)`` / ``CC1(n)`` estimates the number of
+primary-input assignments needed to drive net ``n`` to 0 / 1; combinational
+observability ``CO(n)`` estimates the work needed to propagate a value change
+on ``n`` to some primary output.  Both are computed structurally — one
+forward pass over the levelized gate order for controllability, one backward
+pass for observability — with no simulation.
+
+The measures feed the PODEM backtrace (cheapest controlling input first,
+hardest non-controlling input first) and the static testability report of
+``python -m repro analyze``.  XOR-family controllability is exact for any
+fan-in via a parity-cost dynamic programme rather than the common two-input
+approximation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuit.levelize import levelize
+from repro.circuit.library import GateType
+from repro.circuit.netlist import Circuit
+
+__all__ = ["UNOBSERVABLE", "ScoapMeasures", "compute_scoap"]
+
+#: Sentinel observability for nets with no structural path to any primary
+#: output.  Finite (not ``inf``) so reports stay integer-typed and JSON-able.
+UNOBSERVABLE: int = 2**30
+
+
+@dataclass(frozen=True)
+class ScoapMeasures:
+    """SCOAP testability numbers for one circuit.
+
+    Attributes
+    ----------
+    cc0, cc1:
+        Combinational 0-/1-controllability per net (primary inputs cost 1).
+    co:
+        Combinational observability per net: 0 at primary outputs, the
+        minimum over reader pins elsewhere, :data:`UNOBSERVABLE` for nets
+        that reach no primary output.
+    co_pin:
+        Observability of each gate input pin, keyed by ``(gate_name, pin)``.
+    """
+
+    cc0: dict[str, int] = field(default_factory=dict)
+    cc1: dict[str, int] = field(default_factory=dict)
+    co: dict[str, int] = field(default_factory=dict)
+    co_pin: dict[tuple[str, int], int] = field(default_factory=dict)
+
+    def controllability(self, net: str) -> tuple[int, int]:
+        """``(CC0, CC1)`` of ``net``."""
+        return self.cc0[net], self.cc1[net]
+
+    def testability(self, net: str) -> int:
+        """Combined difficulty ``CC0 + CC1 + CO`` (larger = harder to test)."""
+        return self.cc0[net] + self.cc1[net] + self.co[net]
+
+    def hardest_nets(self, n: int = 5) -> list[tuple[str, int]]:
+        """The ``n`` nets with the worst combined testability, worst first."""
+        ranked = sorted(
+            ((net, self.testability(net)) for net in self.cc0),
+            key=lambda pair: (-pair[1], pair[0]),
+        )
+        return ranked[:n]
+
+    def to_dict(self) -> dict[str, dict[str, int]]:
+        """JSON-able per-net table ``{net: {cc0, cc1, co}}``."""
+        return {
+            net: {"cc0": self.cc0[net], "cc1": self.cc1[net], "co": self.co[net]}
+            for net in self.cc0
+        }
+
+
+def _parity_costs(pairs: list[tuple[int, int]]) -> tuple[int, int]:
+    """(min cost of even parity, min cost of odd parity) over input literals.
+
+    Dynamic programme over the inputs: exact n-input XOR controllability,
+    where each input contributes either its CC0 (keeping parity) or its CC1
+    (flipping parity).
+    """
+    even, odd = 0, UNOBSERVABLE
+    for cc0, cc1 in pairs:
+        even, odd = min(even + cc0, odd + cc1), min(even + cc1, odd + cc0)
+    return even, odd
+
+
+def compute_scoap(circuit: Circuit) -> ScoapMeasures:
+    """Compute SCOAP CC0/CC1/CO for every net of ``circuit``.
+
+    One forward pass (controllability, levelized order) and one backward
+    pass (observability, reverse order).  Raises ``CircuitError`` via
+    :func:`~repro.circuit.levelize.levelize` on cyclic or undriven circuits.
+    """
+    order = levelize(circuit)
+
+    cc0: dict[str, int] = dict.fromkeys(circuit.primary_inputs, 1)
+    cc1: dict[str, int] = dict.fromkeys(circuit.primary_inputs, 1)
+    for gate in order:
+        in0 = [cc0[n] for n in gate.inputs]
+        in1 = [cc1[n] for n in gate.inputs]
+        gt = gate.gate_type
+        if gt in (GateType.AND, GateType.NAND):
+            core0 = min(in0) + 1
+            core1 = sum(in1) + 1
+        elif gt in (GateType.OR, GateType.NOR):
+            core0 = sum(in0) + 1
+            core1 = min(in1) + 1
+        elif gt in (GateType.XOR, GateType.XNOR):
+            even, odd = _parity_costs(list(zip(in0, in1)))
+            core0, core1 = even + 1, odd + 1
+        else:  # NOT / BUF
+            core0, core1 = in0[0] + 1, in1[0] + 1
+        if gt in (GateType.NAND, GateType.NOR, GateType.XNOR, GateType.NOT):
+            cc0[gate.output], cc1[gate.output] = core1, core0
+        else:
+            cc0[gate.output], cc1[gate.output] = core0, core1
+
+    po_set = set(circuit.primary_outputs)
+    co: dict[str, int] = {
+        net: 0 if net in po_set else UNOBSERVABLE for net in cc0
+    }
+    co_pin: dict[tuple[str, int], int] = {}
+    for gate in reversed(order):
+        out_co = co[gate.output]
+        gt = gate.gate_type
+        for pin, net in enumerate(gate.inputs):
+            if out_co >= UNOBSERVABLE:
+                pin_co = UNOBSERVABLE
+            elif gt in (GateType.AND, GateType.NAND):
+                side = sum(cc1[n] for i, n in enumerate(gate.inputs) if i != pin)
+                pin_co = out_co + side + 1
+            elif gt in (GateType.OR, GateType.NOR):
+                side = sum(cc0[n] for i, n in enumerate(gate.inputs) if i != pin)
+                pin_co = out_co + side + 1
+            elif gt in (GateType.XOR, GateType.XNOR):
+                side = sum(
+                    min(cc0[n], cc1[n])
+                    for i, n in enumerate(gate.inputs)
+                    if i != pin
+                )
+                pin_co = out_co + side + 1
+            else:  # NOT / BUF
+                pin_co = out_co + 1
+            co_pin[(gate.name, pin)] = pin_co
+            if pin_co < co[net]:
+                co[net] = pin_co
+    return ScoapMeasures(cc0=cc0, cc1=cc1, co=co, co_pin=co_pin)

@@ -16,11 +16,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro import obs
+from repro.analysis.scoap import ScoapMeasures, compute_scoap
 from repro.atpg.patterns import TestSet
 from repro.circuit.levelize import levelize
 from repro.circuit.library import GateType
 from repro.circuit.netlist import Circuit, Gate
 from repro.simulation.fault_sim import FaultSimulator
+from typing import Collection
+
 from repro.simulation.faults import FaultSite, StuckAtFault
 
 __all__ = [
@@ -75,40 +78,12 @@ def _inv(value: int) -> int:
 def scoap_controllability(circuit: Circuit) -> dict[str, tuple[int, int]]:
     """SCOAP combinational controllability (CC0, CC1) per net.
 
-    Primary inputs cost 1 to set either way; each gate adds 1 plus the cost of
-    the cheapest way to establish its output value through its inputs.
+    Thin wrapper over :func:`repro.analysis.scoap.compute_scoap` kept for the
+    backtrace's ``{net: (cc0, cc1)}`` view; the full measures (including
+    observability) live in the analysis subsystem.
     """
-    cc: dict[str, tuple[int, int]] = dict.fromkeys(circuit.primary_inputs, (1, 1))
-    for gate in levelize(circuit):
-        in_cc = [cc[n] for n in gate.inputs]
-        cc0s = [c[0] for c in in_cc]
-        cc1s = [c[1] for c in in_cc]
-        gt = gate.gate_type
-        if gt in (GateType.AND, GateType.NAND):
-            core0 = min(cc0s) + 1
-            core1 = sum(cc1s) + 1
-        elif gt in (GateType.OR, GateType.NOR):
-            core0 = sum(cc0s) + 1
-            core1 = min(cc1s) + 1
-        elif gt in (GateType.XOR, GateType.XNOR):
-            # Cheapest even/odd combination over inputs; exact for 2 inputs,
-            # a good heuristic above that.
-            even = min(sum(cc0s), sum(cc1s) if len(in_cc) % 2 == 0 else 10**9)
-            odd = min(
-                min(cc1s[i] + sum(cc0s) - cc0s[i] for i in range(len(in_cc))),
-                10**9,
-            )
-            core0, core1 = even + 1, odd + 1
-        elif gt is GateType.NOT:
-            core0, core1 = cc0s[0] + 1, cc1s[0] + 1
-        else:  # BUF
-            core0, core1 = cc0s[0] + 1, cc1s[0] + 1
-
-        if gt in (GateType.NAND, GateType.NOR, GateType.XNOR, GateType.NOT):
-            cc[gate.output] = (core1, core0)
-        else:
-            cc[gate.output] = (core0, core1)
-    return cc
+    measures = compute_scoap(circuit)
+    return {net: (measures.cc0[net], measures.cc1[net]) for net in measures.cc0}
 
 
 class AtpgStatus:
@@ -131,13 +106,22 @@ class AtpgOutcome:
 class PodemAtpg:
     """PODEM test generator bound to one circuit."""
 
-    def __init__(self, circuit: Circuit, backtrack_limit: int = 2000):
+    def __init__(
+        self,
+        circuit: Circuit,
+        backtrack_limit: int = 2000,
+        scoap: ScoapMeasures | None = None,
+    ):
         circuit.validate()
         self.circuit = circuit
         self.order = levelize(circuit)
         self.driver = {g.output: g for g in circuit.gates}
         self.fanout = circuit.fanout_map()
-        self.cc = scoap_controllability(circuit)
+        if scoap is None:
+            scoap = compute_scoap(circuit)
+        self.cc = {
+            net: (scoap.cc0[net], scoap.cc1[net]) for net in scoap.cc0
+        }
         self.backtrack_limit = backtrack_limit
         self._pi_index = {pi: i for i, pi in enumerate(circuit.primary_inputs)}
         self._support_cache: dict[str, tuple[str, ...]] = {}
@@ -438,6 +422,7 @@ class DeterministicAtpgResult:
     tested: list[StuckAtFault] = field(default_factory=list)
     redundant: list[StuckAtFault] = field(default_factory=list)
     aborted: list[StuckAtFault] = field(default_factory=list)
+    skipped_untestable: list[StuckAtFault] = field(default_factory=list)
 
     @property
     def coverage_of_targeted(self) -> float:
@@ -451,19 +436,32 @@ def generate_deterministic_tests(
     faults: list[StuckAtFault],
     backtrack_limit: int = 2000,
     fill: int = 0,
+    untestable: Collection[StuckAtFault] | None = None,
+    scoap: ScoapMeasures | None = None,
 ) -> DeterministicAtpgResult:
     """Run PODEM over ``faults`` with fault dropping.
 
     Each generated vector is fault-simulated against the remaining targets so
     one vector can retire several faults, matching the classic flow the paper
-    uses after its random prefix.
+    uses after its random prefix.  Faults listed in ``untestable`` — proved
+    undetectable by the static implication screen — are recorded in
+    ``skipped_untestable`` without spending any search on them; ``scoap``
+    passes precomputed testability measures to the backtrace.
     """
-    atpg = PodemAtpg(circuit, backtrack_limit=backtrack_limit)
+    atpg = PodemAtpg(circuit, backtrack_limit=backtrack_limit, scoap=scoap)
     simulator = FaultSimulator(circuit)
     result = DeterministicAtpgResult(
         test_set=TestSet(n_inputs=len(circuit.primary_inputs))
     )
-    remaining = list(faults)
+    skip = frozenset(untestable) if untestable else frozenset()
+    remaining = []
+    for fault in faults:
+        if fault in skip:
+            result.skipped_untestable.append(fault)
+        else:
+            remaining.append(fault)
+    if result.skipped_untestable:
+        obs.inc("podem.skipped_untestable", len(result.skipped_untestable))
     with obs.span("atpg.podem", n_targets=len(remaining)) as podem_span:
         while remaining:
             target = remaining.pop(0)
@@ -491,5 +489,6 @@ def generate_deterministic_tests(
             n_vectors=len(result.test_set),
             n_redundant=len(result.redundant),
             n_aborted=len(result.aborted),
+            n_skipped_untestable=len(result.skipped_untestable),
         )
     return result

@@ -19,6 +19,9 @@ __all__ = [
     "output_cone",
     "input_cone",
     "circuit_depth",
+    "strongly_connected_components",
+    "find_combinational_cycle",
+    "undriven_nets",
 ]
 
 
@@ -28,11 +31,12 @@ def levelize(circuit: Circuit) -> list[Gate]:
     Raises
     ------
     CircuitError
-        If the circuit contains a combinational cycle.
+        If the circuit contains a combinational cycle (the error names the
+        actual cycle, found via the SCC pass) or reads undriven nets (the
+        error names those nets).
     """
     fanout = circuit.fanout_map()
     pending = {gate.name: len(gate.inputs) for gate in circuit.gates}
-    by_name = {gate.name: gate for gate in circuit.gates}
 
     ready: deque[Gate] = deque()
     for pi in circuit.primary_inputs:
@@ -55,9 +59,122 @@ def levelize(circuit: Circuit) -> list[Gate]:
                 ready.append(reader)
 
     if len(order) != len(circuit.gates):
-        stuck = sorted(set(by_name) - {g.name for g in order})
-        raise CircuitError(f"cycle or undriven inputs; unordered gates: {stuck[:5]}")
+        # Distinguish the two failure modes instead of guessing: a
+        # combinational cycle (report the actual loop) vs. gates reading
+        # nets nothing drives (report the nets).
+        cycle = find_combinational_cycle(circuit)
+        if cycle is not None:
+            loop = " -> ".join([*cycle, cycle[0]])
+            raise CircuitError(f"combinational cycle: {loop}")
+        missing = sorted(undriven_nets(circuit))
+        raise CircuitError(
+            f"undriven nets block levelization: {missing[:8]}"
+        )
     return order
+
+
+def undriven_nets(circuit: Circuit) -> set[str]:
+    """Nets read by gates (or named as POs) that nothing drives."""
+    driven = set(circuit.primary_inputs)
+    driven.update(gate.output for gate in circuit.gates)
+    missing: set[str] = set()
+    for gate in circuit.gates:
+        missing.update(net for net in gate.inputs if net not in driven)
+    missing.update(po for po in circuit.primary_outputs if po not in driven)
+    return missing
+
+
+def strongly_connected_components(circuit: Circuit) -> list[list[str]]:
+    """SCCs of the net graph (Tarjan, iterative), each in discovery order.
+
+    Nodes are driven net names; there is an edge from each gate input net to
+    the gate's output net.  Components of size one without a self-loop are
+    the acyclic case; any other component is a combinational cycle.
+    """
+    driver = {gate.output: gate for gate in circuit.gates}
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    components: list[list[str]] = []
+    counter = 0
+
+    for root in driver:
+        if root in index:
+            continue
+        # Iterative Tarjan: (node, iterator over predecessor nets).
+        work: list[tuple[str, list[str], int]] = []
+        index[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        work.append((root, [n for n in driver[root].inputs if n in driver], 0))
+        while work:
+            node, preds, i = work.pop()
+            advanced = False
+            while i < len(preds):
+                nxt = preds[i]
+                i += 1
+                if nxt not in index:
+                    work.append((node, preds, i))
+                    index[nxt] = lowlink[nxt] = counter
+                    counter += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append(
+                        (nxt, [n for n in driver[nxt].inputs if n in driver], 0)
+                    )
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    lowlink[node] = min(lowlink[node], index[nxt])
+            if advanced:
+                continue
+            if lowlink[node] == index[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component[::-1])
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return components
+
+
+def find_combinational_cycle(circuit: Circuit) -> list[str] | None:
+    """One actual combinational cycle as an ordered net list, or None.
+
+    The cycle is recovered from the first non-trivial SCC (or self-loop) by
+    walking gate inputs inside the component until the start net repeats.
+    """
+    driver = {gate.output: gate for gate in circuit.gates}
+    for component in strongly_connected_components(circuit):
+        members = set(component)
+        start = component[0]
+        self_loop = start in driver and start in driver[start].inputs
+        if len(component) == 1 and not self_loop:
+            continue
+        # Walk backwards through in-component inputs until we close the loop.
+        path = [start]
+        seen = {start}
+        current = start
+        while True:
+            gate = driver[current]
+            nxt = next(net for net in gate.inputs if net in members)
+            if nxt == start:
+                return path[::-1]
+            if nxt in seen:
+                # Close on the inner loop instead.
+                inner = path[path.index(nxt):]
+                return inner[::-1]
+            path.append(nxt)
+            seen.add(nxt)
+            current = nxt
+    return None
 
 
 def dfs_topological(circuit: Circuit) -> list[Gate]:

@@ -196,7 +196,10 @@ class Circuit:
                     continue
                 if idx == 0:
                     if state.get(net) == 0:
-                        raise CircuitError(f"combinational cycle through {net!r}")
+                        raise CircuitError(
+                            f"combinational cycle through {net!r}: "
+                            f"{self._describe_cycle(net)}"
+                        )
                     if state.get(net) == 1:
                         continue
                     state[net] = 0
@@ -206,3 +209,12 @@ class Circuit:
                             stack.append((child, 0))
                 else:
                     state[net] = 1
+
+    def _describe_cycle(self, hint: str) -> str:
+        # Local import: levelize imports this module at top level.
+        from repro.circuit.levelize import find_combinational_cycle
+
+        cycle = find_combinational_cycle(self)
+        if cycle is None:  # pragma: no cover - hint net always sits on one
+            return hint
+        return " -> ".join([*cycle, cycle[0]])

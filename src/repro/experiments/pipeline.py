@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 
 from repro import obs
+from repro.analysis import AnalysisResult, analyze_circuit
 from repro.atpg.podem import generate_deterministic_tests
 from repro.atpg.random_atpg import generate_random_tests
 from repro.circuit.iscas import load_benchmark
@@ -68,6 +69,11 @@ class ExperimentConfig:
     #: machine CPU count; the engine still runs serially below its
     #: work crossover).
     fault_sim_workers: int | None = None
+    #: When True (default), the static-analysis pass runs before ATPG:
+    #: provably-untestable faults are excluded from the coverage denominator
+    #: up front (alongside PODEM-proven redundancies) and SCOAP measures are
+    #: shared with the PODEM backtrace.  False is the ablation switch.
+    static_analysis: bool = True
 
     def __hash__(self) -> int:  # DefectStatistics carries dicts
         stats_key = (
@@ -89,6 +95,7 @@ class ExperimentConfig:
                 self.deterministic_topoff,
                 self.word_width,
                 self.fault_sim_workers,
+                self.static_analysis,
             )
         )
 
@@ -104,6 +111,8 @@ class ExperimentResult:
     n_random: int
     stuck_faults: list[StuckAtFault]
     redundant_faults: list[StuckAtFault]
+    static_untestable: list[StuckAtFault]
+    analysis: AnalysisResult | None
     stuck_result: FaultSimResult
     realistic_faults: FaultList
     switch_result: SwitchSimResult
@@ -180,9 +189,23 @@ def _run_cached(config: ExperimentConfig) -> ExperimentResult:
         # --- stuck-at universe and test sequence (paper section 3) ---
         with obs.span("pipeline.collapse_faults"):
             collapsed = collapse_faults(circuit)
+
+        # Static analysis: provably-untestable faults leave the coverage
+        # denominator before any vector is generated — the same "redundant
+        # faults can be neglected" assumption the paper makes, applied where
+        # redundancy is provable without search.  SCOAP measures are reused
+        # by the PODEM backtrace.
+        analysis: AnalysisResult | None = None
+        static_untestable: list[StuckAtFault] = []
+        screened = collapsed
+        if config.static_analysis:
+            analysis = analyze_circuit(circuit, faults=collapsed)
+            static_untestable = analysis.untestable_faults()
+            screened = analysis.screen(collapsed)
+
         random_result = generate_random_tests(
             circuit,
-            collapsed,
+            screened,
             target_coverage=config.random_coverage_target,
             max_patterns=config.max_random_patterns,
             seed=config.seed,
@@ -193,6 +216,8 @@ def _run_cached(config: ExperimentConfig) -> ExperimentResult:
                 circuit,
                 random_result.undetected,
                 backtrack_limit=config.backtrack_limit,
+                untestable=static_untestable,
+                scoap=analysis.scoap if analysis is not None else None,
             )
             # The paper assumes "redundant faults can be neglected, so T(k) -> 1".
             # Proven-redundant faults are excluded from the coverage denominator;
@@ -203,10 +228,12 @@ def _run_cached(config: ExperimentConfig) -> ExperimentResult:
         else:
             redundant = []
             deterministic_patterns = []
-        testable = [f for f in collapsed if f not in set(redundant)]
+        excluded = set(redundant)
+        testable = [f for f in screened if f not in excluded]
         patterns = list(random_result.test_set.patterns) + deterministic_patterns
         obs.set_gauge("pipeline.n_patterns", len(patterns))
         obs.set_gauge("pipeline.n_stuck_faults", len(testable))
+        obs.set_gauge("pipeline.n_untestable_static", len(static_untestable))
 
         with obs.span("pipeline.stuck_fault_sim", n_patterns=len(patterns)):
             if config.word_width is None:
@@ -247,6 +274,8 @@ def _run_cached(config: ExperimentConfig) -> ExperimentResult:
         n_random=len(random_result.test_set),
         stuck_faults=testable,
         redundant_faults=redundant,
+        static_untestable=static_untestable,
+        analysis=analysis,
         stuck_result=stuck_result,
         realistic_faults=faults,
         switch_result=switch_result,

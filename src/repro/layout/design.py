@@ -21,7 +21,7 @@ from repro.layout.cells import (
     Transistor,
 )
 from repro.layout.geometry import Layer, Rect, bounding_box
-from repro.layout.placement import POWER_MARGIN, Placement, place
+from repro.layout.placement import Placement, place
 from repro.layout.routing import RoutingPlan, route
 from repro.layout.techmap import techmap
 

@@ -5,11 +5,13 @@ on every *fault site*: each primary input, each gate output net, and each gate
 input pin (pin faults are distinct from the driving net's fault whenever the
 net fans out to more than one pin — the classic checkpoint refinement).
 
-Collapsing uses structural equivalence across single-input chains and the
+Collapsing here uses structural equivalence across single-input chains and the
 standard gate-local equivalences (e.g. any input s-a-0 of an AND is equivalent
-to its output s-a-0); dominance-based collapsing is intentionally not applied,
-matching common industrial practice of reporting equivalence-collapsed
-coverage.
+to its output s-a-0), matching common industrial practice of reporting
+equivalence-collapsed coverage.  Dominance-based collapsing — which can shrink
+the universe further but only preserves detection, not equivalence — is
+layered on top by :func:`repro.analysis.collapse.dominance_collapse`, built on
+the class structure :func:`collapse_with_classes` exposes.
 """
 
 from __future__ import annotations
@@ -20,7 +22,14 @@ from enum import Enum
 from repro.circuit.library import GateType
 from repro.circuit.netlist import Circuit
 
-__all__ = ["StuckAtFault", "FaultSite", "full_fault_universe", "collapse_faults"]
+__all__ = [
+    "StuckAtFault",
+    "FaultSite",
+    "full_fault_universe",
+    "collapse_faults",
+    "collapse_with_classes",
+    "fanout_pin_counts",
+]
 
 
 class FaultSite(str, Enum):
@@ -78,12 +87,7 @@ def full_fault_universe(circuit: Circuit) -> list[StuckAtFault]:
         faults.append(StuckAtFault(net, 0))
         faults.append(StuckAtFault(net, 1))
 
-    fanout_count: dict[str, int] = {}
-    for gate in circuit.gates:
-        for net in gate.inputs:
-            fanout_count[net] = fanout_count.get(net, 0) + 1
-    for po in circuit.primary_outputs:
-        fanout_count[po] = fanout_count.get(po, 0) + 1
+    fanout_count = fanout_pin_counts(circuit)
 
     for gate in circuit.gates:
         for pin, net in enumerate(gate.inputs):
@@ -95,6 +99,22 @@ def full_fault_universe(circuit: Circuit) -> list[StuckAtFault]:
                     StuckAtFault(net, 1, FaultSite.GATE_INPUT, gate.name, pin)
                 )
     return faults
+
+
+def fanout_pin_counts(circuit: Circuit) -> dict[str, int]:
+    """Reader-pin count per net; primary outputs count as one extra reader.
+
+    This is the fanout convention shared by the fault universe (pin faults
+    exist only where the count exceeds one) and the structural linter's
+    fanout histogram.
+    """
+    fanout_count: dict[str, int] = {}
+    for gate in circuit.gates:
+        for net in gate.inputs:
+            fanout_count[net] = fanout_count.get(net, 0) + 1
+    for po in circuit.primary_outputs:
+        fanout_count[po] = fanout_count.get(po, 0) + 1
+    return fanout_count
 
 
 # Gate-local equivalence: which input stuck value collapses into which output
@@ -123,15 +143,24 @@ def collapse_faults(
     each class (closest to the outputs), which keeps detection semantics
     identical.
     """
+    collapsed, _ = collapse_with_classes(circuit, faults)
+    return collapsed
+
+
+def collapse_with_classes(
+    circuit: Circuit, faults: list[StuckAtFault] | None = None
+) -> tuple[list[StuckAtFault], dict[StuckAtFault, StuckAtFault]]:
+    """Equivalence-collapse and also return the class structure.
+
+    Returns ``(collapsed, rep_of)`` where ``collapsed`` is exactly what
+    :func:`collapse_faults` returns and ``rep_of`` maps every input fault to
+    its chosen class representative (a member of ``collapsed``).  Dominance
+    collapsing consumes the map to reason about whole equivalence classes.
+    """
     if faults is None:
         faults = full_fault_universe(circuit)
 
-    fanout_count: dict[str, int] = {}
-    for gate in circuit.gates:
-        for net in gate.inputs:
-            fanout_count[net] = fanout_count.get(net, 0) + 1
-    for po in circuit.primary_outputs:
-        fanout_count[po] = fanout_count.get(po, 0) + 1
+    fanout_count = fanout_pin_counts(circuit)
 
     parent: dict[StuckAtFault, StuckAtFault] = {}
 
@@ -169,6 +198,7 @@ def collapse_faults(
     universe = set(faults)
     representatives: dict[StuckAtFault, StuckAtFault] = {}
     collapsed: list[StuckAtFault] = []
+    rep_of: dict[StuckAtFault, StuckAtFault] = {}
     for fault in faults:
         root = find(fault)
         # The root might not be in the provided subset; keep the first member
@@ -178,4 +208,5 @@ def collapse_faults(
             rep = root if root in universe else fault
             representatives[root] = rep
             collapsed.append(rep)
-    return collapsed
+        rep_of[fault] = rep
+    return collapsed, rep_of

@@ -1,0 +1,193 @@
+"""Unit tests for the structural netlist linter."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    HIGH_FANOUT_THRESHOLD,
+    Severity,
+    lint_circuit,
+)
+from repro.circuit import Circuit, CircuitError, GateType, c17
+from repro.circuit.iscas import BENCHMARKS
+
+
+def build_clean() -> Circuit:
+    ckt = Circuit(name="clean")
+    ckt.add_input("a")
+    ckt.add_input("b")
+    ckt.add_gate(GateType.AND, ["a", "b"], "c")
+    ckt.add_output("c")
+    return ckt
+
+
+def rules_of(report) -> set[str]:
+    return {f.rule for f in report.findings}
+
+
+def test_clean_circuit_has_no_findings():
+    report = lint_circuit(build_clean())
+    assert report.findings == []
+    assert report.max_severity is None
+    assert report.stats["errors"] == 0
+
+
+def test_c17_is_clean():
+    assert lint_circuit(c17()).findings == []
+
+
+def test_multi_driven_net_is_error():
+    ckt = build_clean()
+    ckt.add_gate(GateType.OR, ["a", "b"], "c", name="dup")
+    report = lint_circuit(ckt)
+    assert "multi-driven-net" in rules_of(report)
+    finding = report.errors[0]
+    assert finding.nets == ("c",)
+    assert "dup" in finding.gates
+
+
+def test_undriven_net_is_error():
+    ckt = build_clean()
+    ckt.add_gate(GateType.AND, ["a", "ghost"], "d")
+    report = lint_circuit(ckt)
+    assert "undriven-net" in rules_of(report)
+    assert any(f.nets == ("ghost",) for f in report.errors)
+
+
+def test_undriven_primary_output_is_error():
+    ckt = build_clean()
+    ckt.add_output("phantom")
+    report = lint_circuit(ckt)
+    assert any(
+        f.rule == "undriven-net" and f.nets == ("phantom",)
+        for f in report.errors
+    )
+
+
+def test_cycle_reported_with_actual_loop():
+    ckt = Circuit(name="loop")
+    ckt.add_input("a")
+    ckt.add_gate(GateType.AND, ["a", "y"], "x")
+    ckt.add_gate(GateType.NOT, ["x"], "y")
+    ckt.add_output("y")
+    report = lint_circuit(ckt)
+    cycle = next(f for f in report.errors if f.rule == "combinational-cycle")
+    assert set(cycle.nets) == {"x", "y"}
+    assert "->" in cycle.message
+
+
+def test_dangling_output_is_warning():
+    ckt = build_clean()
+    ckt.add_gate(GateType.NOT, ["a"], "dead")
+    report = lint_circuit(ckt)
+    finding = next(f for f in report.findings if f.rule == "dangling-output")
+    assert finding.severity is Severity.WARNING
+    assert finding.nets == ("dead",)
+
+
+def test_unreachable_logic_is_warning():
+    ckt = build_clean()
+    # A two-gate island: n1 is read (by n2) so it is not dangling, but
+    # neither reaches the primary output.
+    ckt.add_gate(GateType.NOT, ["a"], "n1")
+    ckt.add_gate(GateType.NOT, ["n1"], "n2")
+    report = lint_circuit(ckt)
+    unreachable = [f for f in report.findings if f.rule == "unreachable-logic"]
+    assert [f.nets for f in unreachable] == [("n1",)]
+    assert any(f.rule == "dangling-output" and f.nets == ("n2",) for f in report.findings)
+
+
+def test_tied_input_and_constant_net():
+    ckt = Circuit(name="tied")
+    ckt.add_input("a")
+    ckt.add_gate(GateType.XOR, ["a", "a"], "z")  # constant 0
+    ckt.add_output("z")
+    report = lint_circuit(ckt)
+    assert "tied-input" in rules_of(report)
+    constant = next(f for f in report.findings if f.rule == "constant-net")
+    assert constant.nets == ("z",)
+    assert report.constants == {"z": 0}
+
+
+def test_unused_input_is_info():
+    ckt = build_clean()
+    ckt.add_input("spare")
+    report = lint_circuit(ckt)
+    finding = next(f for f in report.findings if f.rule == "unused-input")
+    assert finding.severity is Severity.INFO
+    assert finding.nets == ("spare",)
+
+
+def test_high_fanout_threshold():
+    ckt = Circuit(name="fan")
+    ckt.add_input("a")
+    ckt.add_input("b")
+    for i in range(HIGH_FANOUT_THRESHOLD):
+        ckt.add_gate(GateType.AND, ["a", "b"], f"g{i}")
+        ckt.add_output(f"g{i}")
+    report = lint_circuit(ckt)
+    flagged = [f for f in report.findings if f.rule == "high-fanout"]
+    assert {f.nets[0] for f in flagged} == {"a", "b"}
+
+
+def test_fanout_histogram_matches_pin_convention():
+    report = lint_circuit(c17())
+    # c17 has 11 nets; G3 and G11 and G16 feed two pins each, G22/G23 are
+    # POs (one reader each), every other net feeds exactly one pin.
+    assert sum(report.fanout_histogram.values()) == 11
+    assert report.fanout_histogram[2] == 3
+    assert report.fanout_histogram[1] == 8
+
+
+def test_errors_sorted_first():
+    ckt = build_clean()
+    ckt.add_input("spare")                       # INFO
+    ckt.add_gate(GateType.AND, ["a", "ghost"], "d")  # ERROR + dangling WARNING
+    report = lint_circuit(ckt)
+    ranks = [f.severity.rank for f in report.findings]
+    assert ranks == sorted(ranks, reverse=True)
+
+
+def test_report_json_round_trip():
+    ckt = build_clean()
+    ckt.add_input("spare")
+    report = lint_circuit(ckt)
+    payload = json.loads(report.to_json())
+    assert payload["circuit"] == "clean"
+    assert payload["stats"]["infos"] == 1
+    assert payload["findings"][0]["rule"] == "unused-input"
+
+
+def test_render_text_mentions_every_finding():
+    ckt = build_clean()
+    ckt.add_gate(GateType.OR, ["a", "b"], "c", name="dup")
+    text = lint_circuit(ckt).render_text()
+    assert "multi-driven-net" in text
+    assert "ERROR" in text
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_linter_agrees_with_validate_on_builtins(name):
+    circuit = BENCHMARKS[name]()
+    report = lint_circuit(circuit)
+    # Every built-in circuit validates, so the linter must report no ERRORs.
+    circuit.validate()
+    assert report.errors == []
+
+
+@pytest.mark.parametrize(
+    "breaker",
+    [
+        lambda c: c.add_gate(GateType.OR, ["G1", "G2"], "G10", name="dup"),
+        lambda c: c.add_gate(GateType.AND, ["G1", "ghost"], "extra"),
+        lambda c: c.add_output("phantom"),
+    ],
+)
+def test_linter_agrees_with_validate_on_broken(breaker):
+    circuit = c17()
+    breaker(circuit)
+    report = lint_circuit(circuit)
+    with pytest.raises(CircuitError):
+        circuit.validate()
+    assert report.errors, "validate() raised but linter saw no ERROR"

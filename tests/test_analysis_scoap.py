@@ -1,0 +1,113 @@
+"""Unit tests for SCOAP controllability/observability measures."""
+
+from repro.analysis import UNOBSERVABLE, compute_scoap
+from repro.circuit import Circuit, GateType, c17
+from repro.circuit.iscas import BENCHMARKS
+
+
+# Hand-computed SCOAP values for c17 (Goldstein's rules, PI cost 1):
+#   G10 = NAND(G1, G3), G11 = NAND(G3, G6), G16 = NAND(G2, G11),
+#   G19 = NAND(G11, G7), G22 = NAND(G10, G16) [PO], G23 = NAND(G16, G19) [PO]
+C17_CC = {
+    "G1": (1, 1), "G2": (1, 1), "G3": (1, 1), "G6": (1, 1), "G7": (1, 1),
+    "G10": (3, 2), "G11": (3, 2), "G16": (4, 2), "G19": (4, 2),
+    "G22": (5, 4), "G23": (5, 5),
+}
+C17_CO = {
+    "G22": 0, "G23": 0,
+    "G10": 3, "G16": 3, "G19": 3,
+    "G11": 5, "G1": 5, "G3": 5,
+    "G2": 6, "G7": 6, "G6": 7,
+}
+
+
+def test_c17_controllability_exact():
+    measures = compute_scoap(c17())
+    for net, (cc0, cc1) in C17_CC.items():
+        assert measures.controllability(net) == (cc0, cc1), net
+
+
+def test_c17_observability_exact():
+    measures = compute_scoap(c17())
+    for net, co in C17_CO.items():
+        assert measures.co[net] == co, net
+
+
+def test_c17_pin_observability():
+    measures = compute_scoap(c17())
+    # G19 = NAND(G11, G7) with CO(G19) = 3: pin costs are
+    # CO + CC1(other) + 1 for a NAND.
+    assert measures.co_pin[("G19", 0)] == 3 + 1 + 1  # side input G7, CC1=1
+    assert measures.co_pin[("G19", 1)] == 3 + 2 + 1  # side input G11, CC1=2
+    # Stem CO is the min over reader pins: G3 feeds G10.pin1 (cost 5)
+    # and G11.pin0 (cost 7).
+    assert measures.co["G3"] == min(
+        measures.co_pin[("G10", 1)], measures.co_pin[("G11", 0)]
+    )
+
+
+def test_primary_inputs_cost_one_everywhere():
+    for name in ("c17", "alu4", "rca8"):
+        circuit = BENCHMARKS[name]()
+        measures = compute_scoap(circuit)
+        for pi in circuit.primary_inputs:
+            assert measures.controllability(pi) == (1, 1)
+
+
+def test_gate_outputs_cost_more_than_one():
+    circuit = BENCHMARKS["c432_like"]()
+    measures = compute_scoap(circuit)
+    for gate in circuit.gates:
+        cc0, cc1 = measures.controllability(gate.output)
+        assert cc0 >= 2 and cc1 >= 2, gate.output
+
+
+def test_xor_controllability_exact_for_three_inputs():
+    # XOR3(a, b, c): odd parity needs exactly one (or all three) inputs at 1.
+    # With unit PI costs: CC1 = 3x cost-1 picks + 1 = 4, CC0 = 0 picks + 1.
+    ckt = Circuit(name="xor3")
+    for net in ("a", "b", "c"):
+        ckt.add_input(net)
+    ckt.add_gate(GateType.XOR, ["a", "b", "c"], "y")
+    ckt.add_output("y")
+    measures = compute_scoap(ckt)
+    # CC0: even parity, cheapest = all zeros, cost 3 -> 3+1 = 4.
+    # CC1: odd parity, cheapest = one 1 and two 0s, cost 3 -> 3+1 = 4.
+    assert measures.controllability("y") == (4, 4)
+
+
+def test_unobservable_net_gets_sentinel():
+    ckt = Circuit(name="dangling")
+    ckt.add_input("a")
+    ckt.add_gate(GateType.NOT, ["a"], "used")
+    ckt.add_gate(GateType.NOT, ["a"], "dead")
+    ckt.add_output("used")
+    measures = compute_scoap(ckt)
+    assert measures.co["dead"] == UNOBSERVABLE
+    assert measures.co["used"] == 0
+
+
+def test_observability_zero_exactly_at_primary_outputs():
+    circuit = BENCHMARKS["alu4"]()
+    measures = compute_scoap(circuit)
+    po_set = set(circuit.primary_outputs)
+    for net in measures.co:
+        if net in po_set:
+            assert measures.co[net] == 0
+        else:
+            assert measures.co[net] > 0
+
+
+def test_hardest_nets_ranked_descending():
+    measures = compute_scoap(BENCHMARKS["mul4"]())
+    ranked = measures.hardest_nets(10)
+    scores = [score for _, score in ranked]
+    assert scores == sorted(scores, reverse=True)
+    assert all(measures.testability(net) == s for net, s in ranked)
+
+
+def test_to_dict_round_trip():
+    measures = compute_scoap(c17())
+    table = measures.to_dict()
+    assert table["G10"] == {"cc0": 3, "cc1": 2, "co": 3}
+    assert set(table) == set(measures.cc0)

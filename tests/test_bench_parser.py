@@ -76,9 +76,47 @@ def test_structural_error_propagates():
         parse_bench("INPUT(a)\nOUTPUT(z)\n")
 
 
+def test_duplicate_driver_rejected():
+    text = "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = AND(a, b)\nz = OR(a, b)\n"
+    with pytest.raises(CircuitError, match="multiple drivers"):
+        parse_bench(text)
+
+
+def test_gate_driving_an_input_rejected():
+    text = "INPUT(a)\nINPUT(b)\nOUTPUT(b)\nb = NOT(a)\n"
+    with pytest.raises(CircuitError, match="multiple drivers"):
+        parse_bench(text)
+
+
+def test_undeclared_net_rejected():
+    text = "INPUT(a)\nOUTPUT(z)\nz = AND(a, ghost)\n"
+    with pytest.raises(CircuitError, match="undriven") as exc:
+        parse_bench(text)
+    assert "ghost" in str(exc.value)
+
+
+def test_empty_circuit_round_trips():
+    # No gates at all is structurally fine (no outputs to drive).
+    ckt = parse_bench("INPUT(a)\n")
+    assert ckt.gate_count == 0
+    assert ckt.primary_inputs == ["a"]
+
+
+def test_duplicate_input_declaration_rejected():
+    with pytest.raises(CircuitError, match="duplicate primary input"):
+        parse_bench("INPUT(a)\nINPUT(a)\n")
+
+
+def test_cycle_in_bench_rejected_with_loop():
+    text = "INPUT(a)\nOUTPUT(y)\nx = AND(a, y)\ny = NOT(x)\n"
+    with pytest.raises(CircuitError, match="cycle") as exc:
+        parse_bench(text)
+    assert "->" in str(exc.value)
+
+
 def test_roundtrip_large_benchmarks():
     """write_bench/parse_bench round-trips every registered benchmark."""
-    from repro.circuit import BENCHMARKS, load_benchmark
+    from repro.circuit import load_benchmark
 
     for name in ("c432", "alu4", "rca8"):
         original = load_benchmark(name)

@@ -105,3 +105,37 @@ def test_repeated_input_pin_allowed():
     ckt.add_gate(GateType.AND, ["a", "a"], "b")
     ckt.add_output("b")
     ckt.validate()
+
+
+def test_empty_circuit_validates():
+    # No gates, no outputs: nothing to check, nothing to fail.
+    Circuit(name="empty").validate()
+    empty_with_pi = Circuit(name="pi-only")
+    empty_with_pi.add_input("a")
+    empty_with_pi.validate()
+
+
+def test_empty_circuit_with_output_rejected():
+    ckt = Circuit(name="empty-out")
+    ckt.add_output("z")
+    with pytest.raises(CircuitError, match="not driven"):
+        ckt.validate()
+
+
+def test_cycle_error_names_the_actual_loop():
+    ckt = Circuit(name="loop")
+    ckt.add_input("a")
+    ckt.add_gate(GateType.AND, ["a", "y"], "x")
+    ckt.add_gate(GateType.NOT, ["x"], "y")
+    ckt.add_output("y")
+    with pytest.raises(CircuitError, match="cycle") as exc:
+        ckt.validate()
+    message = str(exc.value)
+    assert "->" in message and "x" in message and "y" in message
+
+
+def test_multiple_driver_error_names_both_drivers():
+    ckt = build_simple()
+    ckt.add_gate(GateType.OR, ["a", "b"], "c", name="dup")
+    with pytest.raises(CircuitError, match="dup"):
+        ckt.validate()

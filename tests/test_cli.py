@@ -66,6 +66,68 @@ def test_cli_profile_prints_span_tree_and_metrics(capsys):
     assert not obs.is_enabled()
 
 
+def test_cli_analyze_clean_circuit(capsys):
+    code = main(["analyze", "c17"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "c17" in out
+    assert "scoap: hardest nets" in out
+    assert "untestable: 0 of" in out
+
+
+def test_cli_analyze_quick_skips_implications(capsys):
+    code = main(["analyze", "c17", "--quick"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "scoap: hardest nets" in out
+    assert "untestable" not in out
+
+
+def test_cli_analyze_finds_redundancy(capsys):
+    # c432_like carries real dangling/unreachable logic plus untestable faults.
+    code = main(["analyze", "c432_like"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "dangling-output" in out
+    assert "untestable: 48 of" in out
+    assert "[observation-conflict]" in out or "[activation]" in out
+
+
+def test_cli_analyze_json_report(capsys, tmp_path):
+    import json
+
+    report = tmp_path / "analysis.json"
+    code = main(["analyze", "c17", "alu4", "--json", str(report)])
+    assert code == 0
+    assert "report written to" in capsys.readouterr().out
+    payload = json.loads(report.read_text())
+    assert [c["circuit"] for c in payload["circuits"]] == ["c17", "alu4"]
+    for entry in payload["circuits"]:
+        assert isinstance(entry["lint"]["findings"], list)
+        assert "scoap" in entry and "untestable" in entry
+
+
+def test_cli_analyze_rejects_unknown_circuit(capsys):
+    code = main(["analyze", "no-such-circuit"])
+    assert code == 2
+    assert "unknown circuit" in capsys.readouterr().err
+
+
+def test_cli_analyze_fail_on_error_passes_clean(capsys):
+    code = main(["analyze", "c17", "--fail-on-error"])
+    assert code == 0
+
+
+def test_cli_analyze_defaults_to_all_benchmarks(capsys):
+    from repro.circuit.iscas import BENCHMARKS
+
+    code = main(["analyze", "--quick"])
+    assert code == 0
+    out = capsys.readouterr().out
+    for name in BENCHMARKS:
+        assert name in out
+
+
 def test_cli_trace_writes_manifest(capsys, tmp_path):
     from repro.obs.manifest import read_manifests
 

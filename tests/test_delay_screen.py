@@ -1,6 +1,5 @@
 """Unit tests for the delay-screen augmentation of realistic coverage."""
 
-import pytest
 
 from repro.atpg import random_patterns
 from repro.defects import (

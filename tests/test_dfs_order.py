@@ -1,6 +1,6 @@
 """Unit tests for the DFS topological order used by placement."""
 
-from repro.circuit import c17, c432_like, ripple_carry_adder
+from repro.circuit import c17, ripple_carry_adder
 from repro.circuit.levelize import dfs_topological, levelize
 
 

@@ -3,11 +3,10 @@
 import pytest
 
 from repro.atpg import random_patterns
-from repro.circuit import c17
 from repro.circuit.levelize import levelize
 from repro.circuit.library import evaluate_gate
 from repro.diagnosis import FaultDictionary, Syndrome
-from repro.simulation import StuckAtFault, collapse_faults
+from repro.simulation import StuckAtFault
 from repro.simulation.faults import FaultSite
 
 

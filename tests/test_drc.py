@@ -18,7 +18,6 @@ def test_alu_layout_spacing_clean():
 
 
 def test_planted_violation_reported(c17_design):
-    from dataclasses import replace as dc_replace
     from repro.layout.design import LayoutDesign
 
     shapes = list(c17_design.shapes)

@@ -4,7 +4,6 @@ The LVS-lite checker must actually catch broken layouts — these tests break
 a good layout in controlled ways and assert the verifier reports it.
 """
 
-import pytest
 
 from repro.layout import (
     Layer,

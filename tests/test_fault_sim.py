@@ -2,9 +2,8 @@
 
 import random
 
-import pytest
 
-from repro.circuit import Circuit, GateType, c17
+from repro.circuit import Circuit, GateType
 from repro.simulation import (
     FaultSimulator,
     FaultSite,

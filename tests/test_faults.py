@@ -1,6 +1,5 @@
 """Unit tests for the stuck-at universe and equivalence collapsing."""
 
-import itertools
 
 import pytest
 

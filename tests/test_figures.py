@@ -1,6 +1,5 @@
 """Unit tests for the analytic figure reproductions (no heavy pipeline)."""
 
-import math
 
 import pytest
 

@@ -6,7 +6,6 @@ from repro.circuit import (
     BENCHMARKS,
     GateType,
     c17,
-    c432_like,
     circuit_depth,
     decoder,
     load_benchmark,

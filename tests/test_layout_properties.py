@@ -1,6 +1,5 @@
 """Property-based layout tests: every generated layout must verify clean."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -79,3 +79,78 @@ def test_levelize_detects_cycle():
     ckt.add_output("y")
     with pytest.raises(CircuitError):
         levelize(ckt)
+
+
+def test_levelize_cycle_error_names_the_loop():
+    ckt = Circuit(name="bad")
+    ckt.add_input("a")
+    ckt.add_gate(GateType.AND, ["a", "y"], "x")
+    ckt.add_gate(GateType.NOT, ["x"], "y")
+    ckt.add_output("y")
+    with pytest.raises(CircuitError, match="cycle") as exc:
+        levelize(ckt)
+    message = str(exc.value)
+    # The actual loop is reported, e.g. "x -> y -> x".
+    assert "x" in message and "y" in message and "->" in message
+
+
+def test_levelize_undriven_error_names_the_nets():
+    ckt = Circuit(name="bad")
+    ckt.add_input("a")
+    ckt.add_gate(GateType.AND, ["a", "ghost"], "x")
+    ckt.add_output("x")
+    with pytest.raises(CircuitError, match="undriven") as exc:
+        levelize(ckt)
+    assert "ghost" in str(exc.value)
+    assert "cycle" not in str(exc.value)
+
+
+def test_find_combinational_cycle_returns_ordered_loop():
+    from repro.circuit.levelize import find_combinational_cycle
+
+    ckt = Circuit(name="ring")
+    ckt.add_input("a")
+    ckt.add_gate(GateType.NOT, ["c3"], "c1")
+    ckt.add_gate(GateType.NOT, ["c1"], "c2")
+    ckt.add_gate(GateType.AND, ["c2", "a"], "c3")
+    ckt.add_output("c3")
+    cycle = find_combinational_cycle(ckt)
+    assert cycle is not None and len(cycle) == 3
+    # Consecutive nets must actually feed each other (closing the ring).
+    driver = {g.output: g for g in ckt.gates}
+    for here, nxt in zip(cycle, cycle[1:] + cycle[:1]):
+        assert here in driver[nxt].inputs
+
+
+def test_find_combinational_cycle_none_on_acyclic():
+    from repro.circuit.levelize import find_combinational_cycle
+
+    assert find_combinational_cycle(c17()) is None
+
+
+def test_self_loop_detected():
+    from repro.circuit.levelize import find_combinational_cycle
+
+    ckt = Circuit(name="self")
+    ckt.add_input("a")
+    ckt.add_gate(GateType.AND, ["a", "x"], "x")
+    ckt.add_output("x")
+    assert find_combinational_cycle(ckt) == ["x"]
+
+
+def test_strongly_connected_components_on_acyclic():
+    from repro.circuit.levelize import strongly_connected_components
+
+    components = strongly_connected_components(c17())
+    assert all(len(c) == 1 for c in components)
+    assert len(components) == 6  # one per gate output
+
+
+def test_undriven_nets_helper():
+    from repro.circuit.levelize import undriven_nets
+
+    ckt = Circuit(name="bad")
+    ckt.add_input("a")
+    ckt.add_gate(GateType.AND, ["a", "ghost"], "x")
+    ckt.add_output("phantom")
+    assert undriven_nets(ckt) == {"ghost", "phantom"}

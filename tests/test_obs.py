@@ -9,7 +9,7 @@ import pytest
 
 from repro import obs
 from repro.obs.metrics import Histogram, MetricsRegistry
-from repro.obs.trace import NULL_SPAN, TraceCollector
+from repro.obs.trace import NULL_SPAN
 
 
 @pytest.fixture(autouse=True)

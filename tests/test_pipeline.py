@@ -1,6 +1,5 @@
 """Integration tests of the end-to-end experiment pipeline (small circuit)."""
 
-import math
 
 import pytest
 
@@ -63,6 +62,38 @@ def test_different_config_different_run(small_experiment):
         ExperimentConfig(benchmark="c17", max_random_patterns=64, seed=7)
     )
     assert other is not small_experiment
+
+
+def test_static_analysis_attached_to_result(small_experiment):
+    # The default pipeline runs the static-analysis pass and records it.
+    analysis = small_experiment.analysis
+    assert analysis is not None
+    assert analysis.ok
+    # c17 is fully testable: the implication screen proves nothing redundant.
+    assert small_experiment.static_untestable == []
+    assert analysis.untestable is not None
+    assert analysis.untestable.n_screened > 0
+
+
+def test_static_analysis_can_be_disabled(small_experiment):
+    plain = run_experiment(
+        ExperimentConfig(
+            benchmark="c17", max_random_patterns=128, seed=7, static_analysis=False
+        )
+    )
+    # A distinct config keys a distinct (non-memoised) run...
+    assert plain is not small_experiment
+    assert plain.analysis is None
+    assert plain.static_untestable == []
+    # ...but the physics is untouched: identical coverage trajectory.
+    assert plain.series() == small_experiment.series()
+
+
+def test_static_analysis_config_hashes_distinctly():
+    on = ExperimentConfig(benchmark="c17", static_analysis=True)
+    off = ExperimentConfig(benchmark="c17", static_analysis=False)
+    assert hash(on) != hash(off)
+    assert on != off
 
 
 def test_detection_technique_config():

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.circuit import c17, ripple_carry_adder
+from repro.circuit import ripple_carry_adder
 from repro.layout import place, route, techmap
 from repro.layout.placement import POWER_MARGIN
 from repro.layout.routing import collect_pins

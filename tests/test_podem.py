@@ -1,8 +1,7 @@
 """Unit tests for PODEM deterministic ATPG."""
 
-import pytest
 
-from repro.circuit import Circuit, GateType, c17, ripple_carry_adder
+from repro.circuit import Circuit, GateType
 from repro.simulation import FaultSimulator, StuckAtFault, collapse_faults
 from repro.atpg import (
     AtpgStatus,

@@ -4,7 +4,6 @@ These cover the model identities the paper's derivation rests on, plus
 simulator-level invariants on randomly generated circuits.
 """
 
-import math
 
 import pytest
 from hypothesis import given, settings

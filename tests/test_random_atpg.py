@@ -1,6 +1,6 @@
 """Unit tests for random-pattern generation with coverage tracking."""
 
-from repro.circuit import c17, parity_tree
+from repro.circuit import parity_tree
 from repro.simulation import FaultSimulator, collapse_faults
 from repro.atpg import generate_random_tests
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.circuit import Circuit, GateType, c17
+from repro.circuit import Circuit, GateType
 from repro.simulation import LogicSimulator
 from repro.simulation.transition import (
     TransitionFault,
