@@ -18,6 +18,7 @@ environments, missing ``fork``/``spawn`` support), the serial
 from __future__ import annotations
 
 import os
+import warnings
 from typing import Sequence
 
 from repro import obs
@@ -95,6 +96,10 @@ class ParallelFaultSimulator:
         self.last_engine: str = "serial"
         #: Worker count of the last parallel run (1 when serial).
         self.last_workers: int = 1
+        #: Why the last run fell back to the serial engine after the pool was
+        #: attempted, e.g. ``"OSError: ..."``; None when no degradation
+        #: happened (clean parallel run, or serial by crossover/worker count).
+        self.last_degraded_reason: str | None = None
 
     def engine_info(self) -> dict[str, object]:
         """Engine descriptor of the last run, for run manifests."""
@@ -102,6 +107,8 @@ class ParallelFaultSimulator:
             "engine": self.last_engine,
             "word_width": self.width,
             "workers": self.last_workers,
+            "degraded": self.last_degraded_reason is not None,
+            "degraded_reason": self.last_degraded_reason,
         }
 
     # ------------------------------------------------------------------
@@ -114,6 +121,7 @@ class ParallelFaultSimulator:
         """Fault-simulate ``patterns``, fanning out when the job is big enough."""
         if faults is None:
             faults = full_fault_universe(self.circuit)
+        self.last_degraded_reason = None
         workers = min(self.max_workers, max(1, len(faults)))
         work = len(faults) * len(patterns)
         if workers <= 1 or work < self.crossover:
@@ -121,7 +129,7 @@ class ParallelFaultSimulator:
             return self.serial.run(patterns, faults, drop_detected)
 
         result = self._run_pool(patterns, faults, drop_detected, workers)
-        if result is None:  # pool failed to start or died: degrade
+        if result is None:  # pool failed to start or died: degrade, loudly
             self.last_engine, self.last_workers = "serial", 1
             return self.serial.run(patterns, faults, drop_detected)
         return result
@@ -163,7 +171,20 @@ class ParallelFaultSimulator:
                     ):
                         first_detection.update(chunk_first)
                         detection_counts.update(chunk_counts)
-        except Exception:  # noqa: BLE001 - any pool failure degrades to serial
+        except Exception as exc:  # noqa: BLE001 - any pool failure degrades to serial
+            # Never degrade silently: record why, count it (by exception
+            # type), and warn.  The reason is surfaced through
+            # ``engine_info()`` into the run manifest.
+            reason = f"{type(exc).__name__}: {exc}"
+            self.last_degraded_reason = reason
+            obs.inc("fault_sim.pool_failures")
+            obs.inc(f"fault_sim.pool_failure.{type(exc).__name__}")
+            warnings.warn(
+                "parallel fault simulation failed "
+                f"({reason}); falling back to the serial engine",
+                RuntimeWarning,
+                stacklevel=3,
+            )
             return None
 
         self.last_engine, self.last_workers = "parallel", workers

@@ -14,6 +14,7 @@ randomly generated circuits and pattern sets:
 
 import random
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -168,6 +169,33 @@ def test_fault_sim_result_bit_exact_serial_vs_parallel():
         assert parallel.n_patterns == serial.n_patterns
 
 
+def test_parallel_pool_failure_degrades_loudly(monkeypatch):
+    import concurrent.futures as cf
+
+    class _BrokenPool:
+        def __init__(self, *args, **kwargs):
+            raise OSError("process pools unavailable")
+
+    monkeypatch.setattr(cf, "ProcessPoolExecutor", _BrokenPool)
+
+    ckt = c17()
+    faults = collapse_faults(ckt)
+    rng = random.Random(99)
+    patterns = [[rng.randint(0, 1) for _ in range(5)] for _ in range(64)]
+
+    pool = ParallelFaultSimulator(ckt, max_workers=2, crossover=0)
+    with pytest.warns(RuntimeWarning, match="falling back"):
+        result = pool.run(patterns, faults=faults)
+
+    assert pool.last_engine == "serial"
+    info = pool.engine_info()
+    assert info["degraded"] is True
+    assert "OSError" in str(info["degraded_reason"])
+    serial = FaultSimulator(ckt).run(patterns, faults=faults)
+    assert result.first_detection == serial.first_detection
+    assert result.detection_counts == serial.detection_counts
+
+
 def test_parallel_degrades_to_serial_below_crossover():
     ckt = c17()
     faults = collapse_faults(ckt)
@@ -186,4 +214,8 @@ def test_parallel_engine_info_reports_configuration():
     pool = ParallelFaultSimulator(ckt, width=128, max_workers=3)
     info = pool.engine_info()
     assert info["word_width"] == 128
-    assert set(info) == {"engine", "word_width", "workers"}
+    assert {"engine", "word_width", "workers", "degraded", "degraded_reason"} <= set(
+        info
+    )
+    assert info["degraded"] is False
+    assert info["degraded_reason"] is None
