@@ -1,4 +1,4 @@
-"""Multi-core fault-simulation fan-out.
+"""Multi-core fault-simulation fan-out with supervised recovery.
 
 :class:`ParallelFaultSimulator` partitions the fault list across a
 ``concurrent.futures.ProcessPoolExecutor``.  Each worker builds the compiled
@@ -7,23 +7,40 @@ initializer; per-task traffic is just a fault sublist out and two small
 result maps back.  Per-fault outcomes are independent (dropping one fault
 never changes another fault's detections), so any partition of the fault
 list reproduces the serial engine bit-exactly — the property tests in
-``tests/test_wide_word.py`` assert it.
+``tests/test_wide_word.py`` and ``tests/test_parallel_resilience.py``
+assert it, including under injected failures.
 
-The fan-out degrades gracefully: below a work crossover (``n_faults x
-n_patterns``), with one worker, or when the pool cannot start (restricted
-environments, missing ``fork``/``spawn`` support), the serial
+Supervision (see ``docs/RESILIENCE.md``): chunks run as individual futures
+with an optional deadline.  A failed or timed-out chunk is classified
+through :func:`repro.resilience.classify_failure` — transient failures
+(worker crash, timeout, OS resource errors) are retried in a fresh pool
+with deterministic backoff, then re-run serially in the parent; fatal
+failures (deterministic bugs) skip pool retries and go straight to the
+serial phase, where the real exception propagates with full context.
+Chunks that completed are *salvaged* — never recomputed, never discarded.
+Degradation is never silent: it warns, increments the
+``resilience.chunk_retries`` / ``resilience.chunks_salvaged`` /
+``resilience.degraded_runs`` counters, and names the reason in
+:meth:`ParallelFaultSimulator.engine_info` (and hence the run manifest).
+
+The fan-out also degrades gracefully by *choice*: below a work crossover
+(``n_faults x n_patterns``) or with one worker the serial
 :class:`~repro.simulation.fault_sim.FaultSimulator` runs in-process instead.
 """
 
 from __future__ import annotations
 
 import os
+import time
 import warnings
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro import obs
 from repro.circuit.library import DEFAULT_WORD_WIDTH
 from repro.circuit.netlist import Circuit
+from repro.resilience import chaos
+from repro.resilience.errors import ChunkFailure, FailureKind, classify_failure
+from repro.resilience.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from repro.simulation.fault_sim import FaultSimResult, FaultSimulator
 from repro.simulation.faults import StuckAtFault, full_fault_universe
 from repro.simulation.logic_sim import pack_patterns
@@ -40,9 +57,15 @@ _WORKER_GROUPS: list[list[int]] | None = None
 _WORKER_N_PATTERNS: int = 0
 
 
-def _init_worker(circuit: Circuit, width: int, patterns: list[list[int]]) -> None:
+def _init_worker(
+    circuit: Circuit,
+    width: int,
+    patterns: list[list[int]],
+    plan: chaos.ChaosPlan | None = None,
+) -> None:
     """Pool initializer: compile the engine and pack the patterns once."""
     global _WORKER_SIM, _WORKER_GROUPS, _WORKER_N_PATTERNS
+    chaos.install(plan)
     _WORKER_SIM = FaultSimulator(circuit, width=width)
     _WORKER_GROUPS = pack_patterns(
         patterns, len(circuit.primary_inputs), width
@@ -51,10 +74,14 @@ def _init_worker(circuit: Circuit, width: int, patterns: list[list[int]]) -> Non
 
 
 def _simulate_chunk(
-    faults: list[StuckAtFault], drop_detected: bool
+    faults: list[StuckAtFault],
+    drop_detected: bool,
+    chunk_id: int = 0,
+    attempt: int = 0,
 ) -> tuple[dict[StuckAtFault, int], dict[StuckAtFault, int]]:
     """Simulate one fault chunk against the worker's packed groups."""
     assert _WORKER_SIM is not None and _WORKER_GROUPS is not None
+    chaos.maybe_inject("parallel.chunk", key=chunk_id, attempt=attempt)
     result = _WORKER_SIM.run_packed(
         _WORKER_GROUPS, _WORKER_N_PATTERNS, faults, drop_detected
     )
@@ -65,7 +92,8 @@ class ParallelFaultSimulator:
     """Fault simulator that fans the fault list out over worker processes.
 
     Drop-in compatible with :class:`FaultSimulator.run`; results are
-    bit-exact with the serial engine for both drop modes.
+    bit-exact with the serial engine for both drop modes, in every recovery
+    path.
 
     Parameters
     ----------
@@ -78,6 +106,14 @@ class ParallelFaultSimulator:
     crossover:
         Minimum ``n_faults * n_patterns`` before the pool is worth starting;
         smaller jobs run serially in-process.
+    retry:
+        Bounded-retry policy for transient chunk failures (default:
+        :data:`~repro.resilience.retry.DEFAULT_RETRY_POLICY` — one fresh-pool
+        retry with deterministic backoff, then serial salvage).
+    chunk_timeout:
+        Deadline in seconds for a round of chunks; chunks not finished by
+        then are treated as transient failures (the hung pool is abandoned).
+        None (default) disables the deadline.
     """
 
     def __init__(
@@ -86,20 +122,33 @@ class ParallelFaultSimulator:
         width: int = DEFAULT_WORD_WIDTH,
         max_workers: int | None = None,
         crossover: int = DEFAULT_CROSSOVER,
+        retry: RetryPolicy | None = None,
+        chunk_timeout: float | None = None,
     ):
         self.circuit = circuit
         self.width = width
         self.max_workers = max_workers or os.cpu_count() or 1
         self.crossover = crossover
+        self.retry = retry or DEFAULT_RETRY_POLICY
+        self.chunk_timeout = chunk_timeout
         self.serial = FaultSimulator(circuit, width=width)
+        #: Backoff sleeper; tests substitute a recorder.
+        self._sleep: Callable[[float], None] = time.sleep
         #: Engine used by the last :meth:`run` call: "serial" or "parallel".
         self.last_engine: str = "serial"
         #: Worker count of the last parallel run (1 when serial).
         self.last_workers: int = 1
-        #: Why the last run fell back to the serial engine after the pool was
-        #: attempted, e.g. ``"OSError: ..."``; None when no degradation
-        #: happened (clean parallel run, or serial by crossover/worker count).
+        #: Why the last run degraded (chunk failures, timeouts, pool loss),
+        #: e.g. ``"ChaosInjectedError: ..."``; None for a clean run.
         self.last_degraded_reason: str | None = None
+        #: Chunk re-submissions to a pool after a transient failure.
+        self.last_chunk_retries: int = 0
+        #: Pool-completed chunks kept while other chunks failed.
+        self.last_chunks_salvaged: int = 0
+        #: Chunks recovered by the in-process serial engine.
+        self.last_chunks_serial: int = 0
+        #: Classified failures observed during the last run.
+        self.last_failures: list[ChunkFailure] = []
 
     def engine_info(self) -> dict[str, object]:
         """Engine descriptor of the last run, for run manifests."""
@@ -109,6 +158,9 @@ class ParallelFaultSimulator:
             "workers": self.last_workers,
             "degraded": self.last_degraded_reason is not None,
             "degraded_reason": self.last_degraded_reason,
+            "chunk_retries": self.last_chunk_retries,
+            "chunks_salvaged": self.last_chunks_salvaged,
+            "chunks_serial": self.last_chunks_serial,
         }
 
     # ------------------------------------------------------------------
@@ -122,73 +174,101 @@ class ParallelFaultSimulator:
         if faults is None:
             faults = full_fault_universe(self.circuit)
         self.last_degraded_reason = None
+        self.last_chunk_retries = 0
+        self.last_chunks_salvaged = 0
+        self.last_chunks_serial = 0
+        self.last_failures = []
         workers = min(self.max_workers, max(1, len(faults)))
         work = len(faults) * len(patterns)
         if workers <= 1 or work < self.crossover:
             self.last_engine, self.last_workers = "serial", 1
             return self.serial.run(patterns, faults, drop_detected)
+        return self._run_supervised(patterns, faults, drop_detected, workers)
 
-        result = self._run_pool(patterns, faults, drop_detected, workers)
-        if result is None:  # pool failed to start or died: degrade, loudly
-            self.last_engine, self.last_workers = "serial", 1
-            return self.serial.run(patterns, faults, drop_detected)
-        return result
-
-    def _run_pool(
+    # ------------------------------------------------------------------
+    def _run_supervised(
         self,
         patterns: Sequence[Sequence[int]],
         faults: list[StuckAtFault],
         drop_detected: bool,
         workers: int,
-    ) -> FaultSimResult | None:
-        from concurrent.futures import ProcessPoolExecutor
-
+    ) -> FaultSimResult:
         pattern_rows = [list(p) for p in patterns]
         # Stride the partition: cone sizes correlate with list position, so
         # contiguous chunks would load-balance badly.  Striding interleaves
         # cheap and expensive faults; results are order-independent.
-        n_chunks = workers
-        chunks = [faults[i::n_chunks] for i in range(n_chunks)]
+        chunks = {i: faults[i::workers] for i in range(workers)}
+        plan = chaos.current_plan()
+
         first_detection: dict[StuckAtFault, int] = {}
         detection_counts: dict[StuckAtFault, int] = {}
-        try:
-            with obs.span(
-                "fault_sim.parallel",
-                n_patterns=len(pattern_rows),
-                n_faults=len(faults),
-                word_width=self.width,
-                workers=workers,
-            ):
-                with ProcessPoolExecutor(
-                    max_workers=workers,
-                    initializer=_init_worker,
-                    initargs=(self.circuit, self.width, pattern_rows),
-                ) as pool:
-                    for chunk_first, chunk_counts in pool.map(
-                        _simulate_chunk,
-                        chunks,
-                        [drop_detected] * len(chunks),
-                    ):
-                        first_detection.update(chunk_first)
-                        detection_counts.update(chunk_counts)
-        except Exception as exc:  # noqa: BLE001 - any pool failure degrades to serial
-            # Never degrade silently: record why, count it (by exception
-            # type), and warn.  The reason is surfaced through
-            # ``engine_info()`` into the run manifest.
-            reason = f"{type(exc).__name__}: {exc}"
-            self.last_degraded_reason = reason
-            obs.inc("fault_sim.pool_failures")
-            obs.inc(f"fault_sim.pool_failure.{type(exc).__name__}")
-            warnings.warn(
-                "parallel fault simulation failed "
-                f"({reason}); falling back to the serial engine",
-                RuntimeWarning,
-                stacklevel=3,
-            )
-            return None
+        pending = dict(chunks)
+        serial_pending: dict[int, list[StuckAtFault]] = {}
+        pool_chunks_done = 0
+        salvaged = 0
 
-        self.last_engine, self.last_workers = "parallel", workers
-        obs.set_gauge("fault_sim.workers", workers)
+        with obs.span(
+            "fault_sim.parallel",
+            n_patterns=len(pattern_rows),
+            n_faults=len(faults),
+            word_width=self.width,
+            workers=workers,
+        ):
+            for attempt in range(self.retry.max_attempts):
+                if not pending:
+                    break
+                if attempt:
+                    delay = self.retry.delay(attempt - 1)
+                    if delay:
+                        self._sleep(delay)
+                    obs.inc("resilience.chunk_retries", len(pending))
+                    self.last_chunk_retries += len(pending)
+                done, failures = self._pool_round(
+                    pattern_rows, pending, drop_detected, attempt, plan, workers
+                )
+                for cid, (chunk_first, chunk_counts) in done.items():
+                    first_detection.update(chunk_first)
+                    detection_counts.update(chunk_counts)
+                    del pending[cid]
+                pool_chunks_done += len(done)
+                if failures:
+                    # Chunks completed in a round where others failed are
+                    # *salvaged*: kept, never discarded or recomputed.
+                    salvaged += len(done)
+                self.last_failures.extend(failures.values())
+                # Fatal chunks leave the pool-retry rotation: they re-run
+                # serially, where the real exception propagates unmasked.
+                for cid, failure in failures.items():
+                    if failure.kind is FailureKind.FATAL:
+                        serial_pending[cid] = pending.pop(cid)
+
+            serial_pending.update(pending)
+            if serial_pending:
+                with obs.span(
+                    "fault_sim.serial_salvage", n_chunks=len(serial_pending)
+                ):
+                    groups = pack_patterns(
+                        pattern_rows,
+                        len(self.circuit.primary_inputs),
+                        self.width,
+                    )
+                    for cid in sorted(serial_pending):
+                        chunk_result = self.serial.run_packed(
+                            groups,
+                            len(pattern_rows),
+                            serial_pending[cid],
+                            drop_detected,
+                        )
+                        first_detection.update(chunk_result.first_detection)
+                        detection_counts.update(chunk_result.detection_counts)
+                self.last_chunks_serial = len(serial_pending)
+
+        if self.last_failures:
+            self._record_degradation(salvaged, pool_chunks_done, len(chunks))
+
+        self.last_engine = "parallel" if pool_chunks_done else "serial"
+        self.last_workers = workers if pool_chunks_done else 1
+        obs.set_gauge("fault_sim.workers", self.last_workers)
         obs.set_gauge("fault_sim.word_width", self.width)
         obs.inc("fault_sim.patterns_applied", len(pattern_rows))
         obs.inc("fault_sim.faults_simulated", len(faults))
@@ -201,3 +281,117 @@ class ParallelFaultSimulator:
             n_patterns=len(pattern_rows),
             detection_counts=detection_counts,
         )
+
+    def _record_degradation(
+        self, salvaged: int, pool_chunks_done: int, n_chunks: int
+    ) -> None:
+        """Count, name and warn about a degraded (but completed) run."""
+        head = self.last_failures[0]
+        extra = len(self.last_failures) - 1
+        reason = head.reason if not extra else f"{head.reason} (+{extra} more)"
+        self.last_degraded_reason = reason
+        self.last_chunks_salvaged = salvaged
+        obs.inc("resilience.degraded_runs")
+        obs.inc("resilience.chunks_salvaged", salvaged)
+        message = (
+            f"parallel fault simulation degraded ({reason}): "
+            f"salvaged {salvaged}/{n_chunks} chunks from the pool, "
+            f"re-ran {self.last_chunks_serial} serially, "
+            f"{self.last_chunk_retries} chunk retries"
+        )
+        if not pool_chunks_done:
+            message += "; falling back to the serial engine"
+        warnings.warn(message, RuntimeWarning, stacklevel=4)
+
+    # ------------------------------------------------------------------
+    def _pool_round(
+        self,
+        pattern_rows: list[list[int]],
+        pending: dict[int, list[StuckAtFault]],
+        drop_detected: bool,
+        attempt: int,
+        plan: chaos.ChaosPlan | None,
+        workers: int,
+    ) -> tuple[
+        dict[int, tuple[dict[StuckAtFault, int], dict[StuckAtFault, int]]],
+        dict[int, ChunkFailure],
+    ]:
+        """Run ``pending`` chunks in one (fresh) pool; classify what failed."""
+        from concurrent.futures import Future, ProcessPoolExecutor, wait
+
+        results: dict[
+            int, tuple[dict[StuckAtFault, int], dict[StuckAtFault, int]]
+        ] = {}
+        failures: dict[int, ChunkFailure] = {}
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=min(workers, len(pending)),
+                initializer=_init_worker,
+                initargs=(self.circuit, self.width, pattern_rows, plan),
+            )
+        except Exception as exc:  # pool never started: every chunk fails
+            obs.inc("fault_sim.pool_failures")
+            obs.inc(f"fault_sim.pool_failure.{type(exc).__name__}")
+            for cid in pending:
+                failures[cid] = classify_failure(exc, cid)
+            return results, failures
+
+        timed_out = False
+        try:
+            futures: dict[Future, int] = {}
+            submit_failure: BaseException | None = None
+            for cid, chunk in sorted(pending.items()):
+                try:
+                    future = pool.submit(
+                        _simulate_chunk, chunk, drop_detected, cid, attempt
+                    )
+                except Exception as exc:  # pool broke while submitting
+                    submit_failure = exc
+                    failures[cid] = classify_failure(exc, cid)
+                    continue
+                futures[future] = cid
+            if submit_failure is not None:
+                obs.inc("fault_sim.pool_failures")
+                obs.inc(f"fault_sim.pool_failure.{type(submit_failure).__name__}")
+
+            deadline = (
+                None
+                if self.chunk_timeout is None
+                else time.monotonic() + self.chunk_timeout
+            )
+            not_done = set(futures)
+            while not_done:
+                remaining: float | None = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        timed_out = True
+                        for future in not_done:
+                            future.cancel()
+                            cid = futures[future]
+                            failures[cid] = ChunkFailure(
+                                chunk_id=cid,
+                                kind=FailureKind.TRANSIENT,
+                                reason=(
+                                    f"ChunkTimeoutError: chunk {cid} exceeded "
+                                    f"{self.chunk_timeout}s deadline"
+                                ),
+                                exception_type="ChunkTimeoutError",
+                            )
+                        obs.inc("resilience.chunk_timeouts", len(not_done))
+                        break
+                done, not_done = wait(not_done, timeout=remaining)
+                for future in done:
+                    cid = futures[future]
+                    try:
+                        results[cid] = future.result()
+                    except Exception as exc:
+                        failures[cid] = classify_failure(exc, cid)
+                        obs.inc(
+                            f"resilience.chunk_failure.{type(exc).__name__}"
+                        )
+        finally:
+            # A hung pool is abandoned (workers keep running until their
+            # current task returns); a healthy or broken one joins cleanly.
+            pool.shutdown(wait=not timed_out, cancel_futures=timed_out)
+        return results, failures

@@ -1,0 +1,246 @@
+"""Supervised fan-out under injected failure: bit-exact in every recovery path.
+
+Per-fault independence makes chunk-level recovery provably exact: any chunk,
+re-run anywhere (retry pool, fresh pool, serial engine), contributes the same
+first-detection and detection-count entries.  These tests inject every
+failure mode the supervisor handles — chunk exception, worker crash, slow
+worker breaching the deadline, deterministic (fatal) error, pool-start
+failure — and assert the merged result equals the serial engine exactly,
+completed chunks are salvaged, and the degradation is named.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.circuit import c17
+from repro.resilience import ChaosPlan, ChaosRule, RetryPolicy, chaos
+from repro.simulation import (
+    FaultSimulator,
+    ParallelFaultSimulator,
+    collapse_faults,
+)
+
+WORKERS = 2
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    chaos.uninstall()
+    obs.disable()
+    yield
+    chaos.uninstall()
+    obs.disable()
+
+
+def _patterns(seed, n=48):
+    rng = random.Random(seed)
+    return [[rng.randint(0, 1) for _ in range(5)] for _ in range(n)]
+
+
+def _serial(ckt, patterns, faults, drop):
+    return FaultSimulator(ckt).run(patterns, faults=faults, drop_detected=drop)
+
+
+def _assert_bit_exact(result, reference):
+    assert result.first_detection == reference.first_detection
+    assert result.detection_counts == reference.detection_counts
+    assert result.faults == reference.faults
+    assert result.n_patterns == reference.n_patterns
+
+
+def test_chunk_exception_is_retried_and_salvaged():
+    ckt = c17()
+    faults = collapse_faults(ckt)
+    patterns = _patterns(1)
+    plan = ChaosPlan(
+        rules=(
+            ChaosRule(
+                point="parallel.chunk", kind="exception", keys={0}, attempts={0}
+            ),
+        )
+    )
+    pool = ParallelFaultSimulator(ckt, max_workers=WORKERS, crossover=0)
+    pool._sleep = lambda s: None
+    for drop in (True, False):
+        with chaos.active(plan), pytest.warns(RuntimeWarning, match="degraded"):
+            result = pool.run(patterns, faults=faults, drop_detected=drop)
+        _assert_bit_exact(result, _serial(ckt, patterns, faults, drop))
+        info = pool.engine_info()
+        assert info["degraded"] is True
+        assert "ChaosInjectedError" in str(info["degraded_reason"])
+        # The healthy chunk was salvaged; the failed one healed on retry.
+        assert info["chunks_salvaged"] == WORKERS - 1
+        assert info["chunk_retries"] == 1
+        assert info["chunks_serial"] == 0
+        assert pool.last_engine == "parallel"
+
+
+def test_worker_crash_salvages_and_heals_on_retry():
+    ckt = c17()
+    faults = collapse_faults(ckt)
+    patterns = _patterns(2)
+    plan = ChaosPlan(
+        rules=(
+            ChaosRule(point="parallel.chunk", kind="crash", keys={1}, attempts={0}),
+        )
+    )
+    pool = ParallelFaultSimulator(ckt, max_workers=WORKERS, crossover=0)
+    pool._sleep = lambda s: None
+    with chaos.active(plan), pytest.warns(RuntimeWarning, match="degraded"):
+        result = pool.run(patterns, faults=faults)
+    _assert_bit_exact(result, _serial(ckt, patterns, faults, True))
+    info = pool.engine_info()
+    assert info["degraded"] is True
+    assert "BrokenProcessPool" in str(info["degraded_reason"])
+    assert pool.last_chunk_retries >= 1
+
+
+def test_slow_worker_breaches_deadline_and_recovers():
+    ckt = c17()
+    faults = collapse_faults(ckt)
+    patterns = _patterns(3)
+    plan = ChaosPlan(
+        rules=(
+            ChaosRule(
+                point="parallel.chunk",
+                kind="sleep",
+                sleep_s=1.0,
+                keys={0},
+                attempts={0},
+            ),
+        )
+    )
+    pool = ParallelFaultSimulator(
+        ckt, max_workers=WORKERS, crossover=0, chunk_timeout=0.2
+    )
+    pool._sleep = lambda s: None
+    _, registry = obs.enable()
+    with chaos.active(plan), pytest.warns(RuntimeWarning, match="degraded"):
+        result = pool.run(patterns, faults=faults)
+    _assert_bit_exact(result, _serial(ckt, patterns, faults, True))
+    info = pool.engine_info()
+    assert info["degraded"] is True
+    assert "ChunkTimeoutError" in str(info["degraded_reason"])
+    assert registry.counter("resilience.chunk_timeouts").value >= 1
+
+
+def test_fatal_chunk_error_skips_pool_retry_and_runs_serially():
+    ckt = c17()
+    faults = collapse_faults(ckt)
+    patterns = _patterns(4)
+    plan = ChaosPlan(
+        rules=(ChaosRule(point="parallel.chunk", kind="fatal", keys={0}),)
+    )
+    pool = ParallelFaultSimulator(ckt, max_workers=WORKERS, crossover=0)
+    pool._sleep = lambda s: None
+    with chaos.active(plan), pytest.warns(RuntimeWarning, match="degraded"):
+        result = pool.run(patterns, faults=faults)
+    _assert_bit_exact(result, _serial(ckt, patterns, faults, True))
+    info = pool.engine_info()
+    assert "ChaosInjectedFatalError" in str(info["degraded_reason"])
+    # No pool retry was spent on the deterministic failure.
+    assert info["chunk_retries"] == 0
+    assert info["chunks_serial"] == 1
+    assert info["chunks_salvaged"] == WORKERS - 1
+
+
+def test_persistent_transient_failure_exhausts_retries_then_serial():
+    ckt = c17()
+    faults = collapse_faults(ckt)
+    patterns = _patterns(5)
+    # Fails on every attempt: retries exhaust, the serial engine salvages.
+    plan = ChaosPlan(
+        rules=(ChaosRule(point="parallel.chunk", kind="exception", keys={1}),)
+    )
+    pool = ParallelFaultSimulator(
+        ckt,
+        max_workers=WORKERS,
+        crossover=0,
+        retry=RetryPolicy(max_attempts=3, backoff_base=0.0),
+    )
+    sleeps: list[float] = []
+    pool._sleep = sleeps.append
+    _, registry = obs.enable()
+    with chaos.active(plan), pytest.warns(RuntimeWarning, match="degraded"):
+        result = pool.run(patterns, faults=faults)
+    _assert_bit_exact(result, _serial(ckt, patterns, faults, True))
+    info = pool.engine_info()
+    assert info["chunk_retries"] == 2
+    assert info["chunks_serial"] == 1
+    assert registry.counter("resilience.degraded_runs").value == 1
+    assert registry.counter("resilience.chunks_salvaged").value == WORKERS - 1
+
+
+def test_backoff_delays_are_deterministic():
+    ckt = c17()
+    faults = collapse_faults(ckt)
+    patterns = _patterns(6)
+    policy = RetryPolicy(max_attempts=3, backoff_base=0.01, backoff_factor=3.0)
+    plan = ChaosPlan(
+        rules=(ChaosRule(point="parallel.chunk", kind="exception", keys={0}),)
+    )
+    pool = ParallelFaultSimulator(
+        ckt, max_workers=WORKERS, crossover=0, retry=policy
+    )
+    sleeps: list[float] = []
+    pool._sleep = sleeps.append
+    with chaos.active(plan), pytest.warns(RuntimeWarning):
+        pool.run(patterns, faults=faults)
+    assert sleeps == policy.delays()
+
+
+def test_clean_run_reports_no_degradation():
+    ckt = c17()
+    faults = collapse_faults(ckt)
+    patterns = _patterns(7)
+    pool = ParallelFaultSimulator(ckt, max_workers=WORKERS, crossover=0)
+    result = pool.run(patterns, faults=faults)
+    _assert_bit_exact(result, _serial(ckt, patterns, faults, True))
+    info = pool.engine_info()
+    assert info["degraded"] is False
+    assert info["degraded_reason"] is None
+    assert info["chunk_retries"] == 0
+    assert info["chunks_salvaged"] == 0
+    assert info["chunks_serial"] == 0
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    failing=st.sets(st.integers(min_value=0, max_value=WORKERS - 1), max_size=WORKERS),
+    kind=st.sampled_from(["exception", "fatal"]),
+    drop=st.booleans(),
+)
+def test_property_injected_chunk_failures_are_bit_exact(seed, failing, kind, drop):
+    """Parallel with any injected chunk-failure set == serial, both drop modes."""
+    chaos.uninstall()
+    ckt = c17()
+    faults = collapse_faults(ckt)
+    patterns = _patterns(seed, n=40)
+    reference = _serial(ckt, patterns, faults, drop)
+
+    rules = tuple(
+        ChaosRule(
+            point="parallel.chunk",
+            kind=kind,
+            keys=frozenset(failing),
+            attempts=frozenset({0}) if kind == "exception" else None,
+        )
+        for _ in range(1)
+        if failing
+    )
+    pool = ParallelFaultSimulator(ckt, max_workers=WORKERS, crossover=0)
+    pool._sleep = lambda s: None
+    with chaos.active(ChaosPlan(rules=rules, seed=seed)):
+        if failing:
+            with pytest.warns(RuntimeWarning, match="degraded"):
+                result = pool.run(patterns, faults=faults, drop_detected=drop)
+        else:
+            result = pool.run(patterns, faults=faults, drop_detected=drop)
+    _assert_bit_exact(result, reference)
+    if failing:
+        assert pool.engine_info()["degraded"] is True
