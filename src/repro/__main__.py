@@ -5,6 +5,7 @@ Usage::
     python -m repro [benchmark] [--svg layout.svg] [--technique voltage]
                     [--seed N] [--max-random-patterns N]
                     [--profile] [--trace run.jsonl]
+                    [--checkpoint-dir DIR] [--resume]
     python -m repro analyze [circuit ...] [--quick] [--json FILE]
                     [--fail-on-error]
 
@@ -13,7 +14,10 @@ defect-level comparison (fig. 5) and the fitted eq.-11 parameters;
 optionally renders the generated layout to SVG.  ``--profile`` prints a
 per-stage timing tree and a metric table after the run; ``--trace FILE``
 appends a JSON-lines run manifest (config hash, stage durations, metrics,
-fitted parameters) to ``FILE``.
+fitted parameters) to ``FILE``.  ``--checkpoint-dir DIR`` persists every
+completed pipeline stage under ``DIR`` (keyed by configuration hash) and
+``--resume`` restores the stages a previous, interrupted run already
+completed; a corrupt checkpoint exits non-zero with a one-line message.
 
 ``analyze`` runs the static-analysis subsystem (lint, SCOAP testability,
 implication-based untestable-fault screening) over one or more built-in
@@ -37,6 +41,7 @@ from repro.experiments import (
     format_table,
     run_experiment,
 )
+from repro.resilience import CheckpointError
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -91,6 +96,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace",
         metavar="FILE",
         help="append a JSON-lines run manifest to FILE",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help=(
+            "persist each completed pipeline stage under DIR (keyed by the "
+            "configuration hash) so an interrupted run can be resumed"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "restore stages already checkpointed by an identical "
+            "configuration instead of recomputing them "
+            "(requires --checkpoint-dir)"
+        ),
     )
     return parser
 
@@ -189,6 +211,10 @@ def main(argv: list[str] | None = None) -> int:
         return analyze_main(argv[1:])
     args = build_parser().parse_args(argv)
 
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+
     if args.trace:
         # Fail fast on an unwritable sink rather than after a full run.
         try:
@@ -202,25 +228,47 @@ def main(argv: list[str] | None = None) -> int:
     if instrumented:
         collector, metrics = obs.enable()
 
-    config = ExperimentConfig(
-        benchmark=args.benchmark,
-        target_yield=args.target_yield,
-        detection=args.technique,
-        seed=args.seed,
-        max_random_patterns=args.max_random_patterns,
-    )
+    try:
+        config = ExperimentConfig(
+            benchmark=args.benchmark,
+            target_yield=args.target_yield,
+            detection=args.technique,
+            seed=args.seed,
+            max_random_patterns=args.max_random_patterns,
+        )
+    except ValueError as exc:
+        print(f"error: invalid configuration: {exc}", file=sys.stderr)
+        return 2
     print(f"running pipeline on {args.benchmark} (Y = {args.target_yield})...")
     hits_before = cache_info().hits
-    result = run_experiment(config)
-    cache_status = "hit" if cache_info().hits > hits_before else "miss"
-    print(
-        f"pipeline cache: {cache_status} "
-        + (
-            "(reusing memoised result)"
-            if cache_status == "hit"
-            else "(full run)"
+    try:
+        result = run_experiment(
+            config,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+            # From the CLI a corrupt checkpoint is a hard error: exit
+            # non-zero with one line rather than silently recomputing work
+            # the user explicitly asked to reuse.
+            strict_checkpoints=bool(args.checkpoint_dir),
         )
-    )
+    except CheckpointError as exc:
+        print(f"error: checkpoint failure: {exc}", file=sys.stderr)
+        return 2
+    if args.checkpoint_dir:
+        restored = ", ".join(result.stages_restored) or "none"
+        recomputed = ", ".join(result.stages_recomputed) or "none"
+        print(f"checkpoints: restored {restored}; recomputed {recomputed}")
+        cache_status = None
+    else:
+        cache_status = "hit" if cache_info().hits > hits_before else "miss"
+        print(
+            f"pipeline cache: {cache_status} "
+            + (
+                "(reusing memoised result)"
+                if cache_status == "hit"
+                else "(full run)"
+            )
+        )
 
     if args.svg:
         from repro.layout.render import render_svg
@@ -271,6 +319,7 @@ def main(argv: list[str] | None = None) -> int:
             registry=metrics,
             cache=cache_status,
             engine=result.engine,
+            resilience=result.resilience_info(),
             results={
                 "R": fit.susceptibility_ratio,
                 "theta_max_fit": fit.theta_max,

@@ -22,8 +22,10 @@ Results are memoised per configuration: every figure bench shares one run.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
 from functools import lru_cache
+from typing import Callable
 
 from repro import obs
 from repro.analysis import AnalysisResult, analyze_circuit
@@ -37,6 +39,9 @@ from repro.defects.extraction import extract_faults
 from repro.defects.fault_types import FaultList
 from repro.defects.statistics import DefectStatistics
 from repro.layout.design import LayoutDesign, build_layout
+from repro.resilience import chaos
+from repro.resilience.checkpoint import CheckpointStore
+from repro.resilience.errors import CheckpointCorruptError
 from repro.simulation.fault_sim import FaultSimResult
 from repro.simulation.faults import StuckAtFault, collapse_faults
 from repro.simulation.parallel import ParallelFaultSimulator
@@ -74,6 +79,33 @@ class ExperimentConfig:
     #: up front (alongside PODEM-proven redundancies) and SCOAP measures are
     #: shared with the PODEM backtrace.  False is the ablation switch.
     static_analysis: bool = True
+
+    def __post_init__(self) -> None:
+        """Reject invalid knobs at construction, not mid-pipeline."""
+        if not 0.0 < self.target_yield <= 1.0:
+            raise ValueError(
+                f"target_yield must be in (0, 1], got {self.target_yield}"
+            )
+        if not 0.0 < self.random_coverage_target <= 1.0:
+            raise ValueError(
+                "random_coverage_target must be in (0, 1], got "
+                f"{self.random_coverage_target}"
+            )
+        if self.max_random_patterns < 0:
+            raise ValueError(
+                "max_random_patterns must be non-negative, got "
+                f"{self.max_random_patterns}"
+            )
+        if self.backtrack_limit < 0:
+            raise ValueError(
+                f"backtrack_limit must be non-negative, got {self.backtrack_limit}"
+            )
+        if self.word_width is not None and self.word_width < 1:
+            raise ValueError(f"word_width must be >= 1, got {self.word_width}")
+        if self.fault_sim_workers is not None and self.fault_sim_workers < 1:
+            raise ValueError(
+                f"fault_sim_workers must be >= 1, got {self.fault_sim_workers}"
+            )
 
     def __hash__(self) -> int:  # DefectStatistics carries dicts
         stats_key = (
@@ -119,8 +151,24 @@ class ExperimentResult:
     coverage: CoverageCurves
     sample_ks: list[int] = field(default_factory=list)
     #: Descriptor of the fault-simulation engine that produced
-    #: ``stuck_result``: name ("serial"/"parallel"), word width, workers.
+    #: ``stuck_result``: name ("serial"/"parallel"), word width, workers,
+    #: degradation state (see ``ParallelFaultSimulator.engine_info``).
     engine: dict[str, object] = field(default_factory=dict)
+    #: Stage names restored from checkpoints (empty without a checkpoint dir).
+    stages_restored: list[str] = field(default_factory=list)
+    #: Stage names computed (and checkpointed, when a store is attached).
+    stages_recomputed: list[str] = field(default_factory=list)
+
+    def resilience_info(self) -> dict[str, object]:
+        """Restore/recompute and engine-degradation facts, for manifests."""
+        return {
+            "stages_restored": list(self.stages_restored),
+            "stages_recomputed": list(self.stages_recomputed),
+            "engine_degraded": bool(self.engine.get("degraded", False)),
+            "degraded_reason": self.engine.get("degraded_reason"),
+            "chunks_salvaged": self.engine.get("chunks_salvaged", 0),
+            "chunk_retries": self.engine.get("chunk_retries", 0),
+        }
 
     # -- per-k series ------------------------------------------------------
     def T_at(self, k: int) -> float:
@@ -178,8 +226,72 @@ def _sample_ks(n_patterns: int) -> list[int]:
     return ks
 
 
-@lru_cache(maxsize=8)
-def _run_cached(config: ExperimentConfig) -> ExperimentResult:
+def _make_stage_runner(
+    store: CheckpointStore | None,
+    resume: bool,
+    restored: list[str],
+    recomputed: list[str],
+) -> Callable:
+    """Build the run-one-stage closure used by :func:`_run_pipeline`.
+
+    A stage either restores its artifact from the checkpoint store (resume
+    mode, verified payload present and decodable against the current run) or
+    computes it, persists it, and passes the ``pipeline.stage`` chaos point —
+    the hook tests and the CI chaos-smoke job use to simulate a crash
+    *between* stages.
+    """
+
+    def run_stage(
+        name: str,
+        compute: Callable[[], object],
+        encode: Callable | None = None,
+        decode: Callable | None = None,
+    ) -> object:
+        if store is not None and resume:
+            payload = store.load(name)
+            if payload is not None:
+                try:
+                    value = decode(payload) if decode is not None else payload
+                except Exception as exc:
+                    # The file verified but its content no longer matches
+                    # this run (e.g. artifact shape drift): same policy as
+                    # corruption — strict raises, tolerant recomputes.
+                    if store.strict:
+                        raise CheckpointCorruptError(
+                            f"checkpoint for stage {name!r} does not match "
+                            f"this run: {exc}"
+                        ) from exc
+                    warnings.warn(
+                        f"checkpoint for stage {name!r} does not match this "
+                        f"run ({exc}); recomputing",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+                    obs.inc("resilience.checkpoints_corrupt")
+                else:
+                    restored.append(name)
+                    obs.inc("resilience.stages_restored")
+                    return value
+        value = compute()
+        if store is not None:
+            store.save(name, encode(value) if encode is not None else value)
+        recomputed.append(name)
+        obs.inc("resilience.stages_recomputed")
+        chaos.maybe_inject("pipeline.stage", key=name)
+        return value
+
+    return run_stage
+
+
+def _run_pipeline(
+    config: ExperimentConfig,
+    store: CheckpointStore | None = None,
+    resume: bool = False,
+) -> ExperimentResult:
+    restored: list[str] = []
+    recomputed: list[str] = []
+    run_stage = _make_stage_runner(store, resume, restored, recomputed)
+
     with obs.span(
         "pipeline.run", benchmark=config.benchmark, seed=config.seed
     ):
@@ -194,7 +306,8 @@ def _run_cached(config: ExperimentConfig) -> ExperimentResult:
         # denominator before any vector is generated — the same "redundant
         # faults can be neglected" assumption the paper makes, applied where
         # redundancy is provable without search.  SCOAP measures are reused
-        # by the PODEM backtrace.
+        # by the PODEM backtrace.  Deterministic and cheap relative to the
+        # simulation stages, it is recomputed rather than checkpointed.
         analysis: AnalysisResult | None = None
         static_untestable: list[StuckAtFault] = []
         screened = collapsed
@@ -203,65 +316,99 @@ def _run_cached(config: ExperimentConfig) -> ExperimentResult:
             static_untestable = analysis.untestable_faults()
             screened = analysis.screen(collapsed)
 
-        random_result = generate_random_tests(
-            circuit,
-            screened,
-            target_coverage=config.random_coverage_target,
-            max_patterns=config.max_random_patterns,
-            seed=config.seed,
-            word_width=config.word_width,
-        )
-        if config.deterministic_topoff:
-            deterministic = generate_deterministic_tests(
+        def compute_atpg() -> dict[str, object]:
+            random_result = generate_random_tests(
                 circuit,
-                random_result.undetected,
-                backtrack_limit=config.backtrack_limit,
-                untestable=static_untestable,
-                scoap=analysis.scoap if analysis is not None else None,
+                screened,
+                target_coverage=config.random_coverage_target,
+                max_patterns=config.max_random_patterns,
+                seed=config.seed,
+                word_width=config.word_width,
             )
-            # The paper assumes "redundant faults can be neglected, so T(k) -> 1".
-            # Proven-redundant faults are excluded from the coverage denominator;
-            # backtrack-aborted faults (overwhelmingly redundant too at this
-            # limit — see tests/test_podem.py) are excluded alongside, reported.
-            redundant = list(deterministic.redundant) + list(deterministic.aborted)
-            deterministic_patterns = list(deterministic.test_set.patterns)
-        else:
-            redundant = []
-            deterministic_patterns = []
-        excluded = set(redundant)
-        testable = [f for f in screened if f not in excluded]
-        patterns = list(random_result.test_set.patterns) + deterministic_patterns
+            if config.deterministic_topoff:
+                deterministic = generate_deterministic_tests(
+                    circuit,
+                    random_result.undetected,
+                    backtrack_limit=config.backtrack_limit,
+                    untestable=static_untestable,
+                    scoap=analysis.scoap if analysis is not None else None,
+                )
+                # The paper assumes "redundant faults can be neglected, so
+                # T(k) -> 1".  Proven-redundant faults are excluded from the
+                # coverage denominator; backtrack-aborted faults
+                # (overwhelmingly redundant too at this limit — see
+                # tests/test_podem.py) are excluded alongside, reported.
+                redundant = list(deterministic.redundant) + list(
+                    deterministic.aborted
+                )
+                deterministic_patterns = list(deterministic.test_set.patterns)
+            else:
+                redundant = []
+                deterministic_patterns = []
+            excluded = set(redundant)
+            return {
+                "patterns": list(random_result.test_set.patterns)
+                + deterministic_patterns,
+                "n_random": len(random_result.test_set),
+                "redundant": redundant,
+                "testable": [f for f in screened if f not in excluded],
+            }
+
+        atpg = run_stage("atpg", compute_atpg)
+        patterns: list[list[int]] = atpg["patterns"]
+        n_random: int = atpg["n_random"]
+        redundant: list[StuckAtFault] = atpg["redundant"]
+        testable: list[StuckAtFault] = atpg["testable"]
         obs.set_gauge("pipeline.n_patterns", len(patterns))
         obs.set_gauge("pipeline.n_stuck_faults", len(testable))
         obs.set_gauge("pipeline.n_untestable_static", len(static_untestable))
 
-        with obs.span("pipeline.stuck_fault_sim", n_patterns=len(patterns)):
-            if config.word_width is None:
-                stuck_sim = ParallelFaultSimulator(
-                    circuit, max_workers=config.fault_sim_workers
-                )
-            else:
-                stuck_sim = ParallelFaultSimulator(
-                    circuit,
-                    width=config.word_width,
-                    max_workers=config.fault_sim_workers,
-                )
-            stuck_result = stuck_sim.run(patterns, faults=testable)
-        engine = stuck_sim.engine_info()
+        def compute_stuck() -> dict[str, object]:
+            with obs.span("pipeline.stuck_fault_sim", n_patterns=len(patterns)):
+                if config.word_width is None:
+                    stuck_sim = ParallelFaultSimulator(
+                        circuit, max_workers=config.fault_sim_workers
+                    )
+                else:
+                    stuck_sim = ParallelFaultSimulator(
+                        circuit,
+                        width=config.word_width,
+                        max_workers=config.fault_sim_workers,
+                    )
+                result = stuck_sim.run(patterns, faults=testable)
+            return {"result": result, "engine": stuck_sim.engine_info()}
+
+        stuck = run_stage("stuck_sim", compute_stuck)
+        stuck_result: FaultSimResult = stuck["result"]
+        engine: dict[str, object] = stuck["engine"]
 
         # --- layout, extraction, yield scaling ---
         with obs.span("pipeline.build_layout"):
             design = build_layout(circuit)
-        statistics = config.statistics or DefectStatistics()
-        faults = extract_faults(design, statistics).scaled_to_yield(config.target_yield)
+
+        def compute_extraction() -> FaultList:
+            statistics = config.statistics or DefectStatistics()
+            return extract_faults(design, statistics).scaled_to_yield(
+                config.target_yield
+            )
+
+        faults = run_stage("extraction", compute_extraction)
         if obs.is_enabled():
             for fault in faults:
                 obs.observe("weights.scaled", fault.weight)
 
         # --- switch-level simulation of the same sequence ---
-        with obs.span("pipeline.switch_sim_setup"):
-            switch = SwitchLevelFaultSimulator(design, patterns)
-        switch_result = switch.run(faults.faults)
+        def compute_switch() -> SwitchSimResult:
+            with obs.span("pipeline.switch_sim_setup"):
+                switch = SwitchLevelFaultSimulator(design, patterns)
+            return switch.run(faults.faults)
+
+        switch_result = run_stage(
+            "switch_sim",
+            compute_switch,
+            encode=_encode_switch_result,
+            decode=lambda payload: _decode_switch_result(payload, faults.faults),
+        )
         coverage = build_coverage(faults, switch_result, technique=config.detection)
         obs.set_gauge("pipeline.theta_max", coverage.theta_max)
         obs.set_gauge("pipeline.final_T", stuck_result.coverage)
@@ -271,7 +418,7 @@ def _run_cached(config: ExperimentConfig) -> ExperimentResult:
         circuit=circuit,
         design=design,
         test_patterns=patterns,
-        n_random=len(random_result.test_set),
+        n_random=n_random,
         stuck_faults=testable,
         redundant_faults=redundant,
         static_untestable=static_untestable,
@@ -282,23 +429,102 @@ def _run_cached(config: ExperimentConfig) -> ExperimentResult:
         coverage=coverage,
         sample_ks=_sample_ks(len(patterns)),
         engine=engine,
+        stages_restored=restored,
+        stages_recomputed=recomputed,
     )
 
 
-def run_experiment(config: ExperimentConfig | None = None) -> ExperimentResult:
+def _encode_switch_result(result: SwitchSimResult) -> dict[str, object]:
+    """Re-key a switch-sim result from ``id(fault)`` to fault-list indices.
+
+    ``SwitchSimResult`` keys detections by object identity, which pickling
+    cannot preserve; the extraction order is deterministic, so indices into
+    ``result.faults`` are a stable checkpoint representation.
+    """
+    index_of = {id(fault): i for i, fault in enumerate(result.faults)}
+    return {
+        "n_faults": len(result.faults),
+        "n_patterns": result.n_patterns,
+        "first_detection": {
+            index_of[key]: k for key, k in result.first_detection.items()
+        },
+        "first_detection_potential": {
+            index_of[key]: k
+            for key, k in result.first_detection_potential.items()
+        },
+        "first_detection_iddq": {
+            index_of[key]: k for key, k in result.first_detection_iddq.items()
+        },
+        "iddq_peak": {index_of[key]: v for key, v in result.iddq_peak.items()},
+    }
+
+
+def _decode_switch_result(
+    payload: dict[str, object], faults: list
+) -> SwitchSimResult:
+    """Rebuild a switch-sim result against the current extraction's faults."""
+    if payload["n_faults"] != len(faults):
+        raise ValueError(
+            f"checkpoint covers {payload['n_faults']} realistic faults, the "
+            f"current extraction has {len(faults)}"
+        )
+
+    def rekey(name: str) -> dict[int, object]:
+        return {id(faults[i]): v for i, v in payload[name].items()}
+
+    return SwitchSimResult(
+        faults=list(faults),
+        first_detection=rekey("first_detection"),
+        first_detection_potential=rekey("first_detection_potential"),
+        first_detection_iddq=rekey("first_detection_iddq"),
+        iddq_peak=rekey("iddq_peak"),
+        n_patterns=payload["n_patterns"],
+    )
+
+
+@lru_cache(maxsize=8)
+def _run_cached(config: ExperimentConfig) -> ExperimentResult:
+    return _run_pipeline(config)
+
+
+def run_experiment(
+    config: ExperimentConfig | None = None,
+    *,
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
+    strict_checkpoints: bool = False,
+) -> ExperimentResult:
     """Run (or fetch the memoised) end-to-end pipeline for ``config``.
 
-    Memoisation behaviour is reported through the ``pipeline.cache_hit`` /
+    Without ``checkpoint_dir`` the run is memoised in-process per
+    configuration, reported through the ``pipeline.cache_hit`` /
     ``pipeline.cache_miss`` counters (and observable without enabling
     metrics via :func:`cache_info` deltas).
+
+    With ``checkpoint_dir``, every completed stage (test-pattern generation,
+    stuck-at fault simulation, realistic-fault extraction, switch-level
+    simulation) is persisted under ``checkpoint_dir/<config hash>/`` as it
+    completes; with ``resume=True`` the run restores any stage already
+    checkpointed by an identical configuration instead of recomputing it —
+    the recovery path for a run killed mid-pipeline.
+    ``ExperimentResult.stages_restored`` / ``stages_recomputed`` record which
+    path each stage took.  ``strict_checkpoints`` makes a corrupt or
+    mismatched checkpoint raise
+    :class:`~repro.resilience.errors.CheckpointCorruptError` instead of
+    recomputing with a warning.
     """
-    hits_before = _run_cached.cache_info().hits
-    result = _run_cached(config or ExperimentConfig())
-    if _run_cached.cache_info().hits > hits_before:
-        obs.inc("pipeline.cache_hit")
-    else:
-        obs.inc("pipeline.cache_miss")
-    return result
+    config = config or ExperimentConfig()
+    if checkpoint_dir is None:
+        hits_before = _run_cached.cache_info().hits
+        result = _run_cached(config)
+        if _run_cached.cache_info().hits > hits_before:
+            obs.inc("pipeline.cache_hit")
+        else:
+            obs.inc("pipeline.cache_miss")
+        return result
+    store = CheckpointStore(checkpoint_dir, config, strict=strict_checkpoints)
+    obs.inc("pipeline.cache_miss")
+    return _run_pipeline(config, store=store, resume=resume)
 
 
 def cache_info():

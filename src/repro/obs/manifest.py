@@ -101,6 +101,10 @@ class RunManifest:
     #: Fault-simulation engine descriptor: name ("serial"/"parallel"),
     #: word width, worker count.  Empty when not recorded.
     engine: dict[str, object] = field(default_factory=dict)
+    #: Resilience record of the run: stages restored vs recomputed from
+    #: checkpoints, engine degradation and salvage counts.  Empty when the
+    #: run had nothing to report (no checkpointing, no degradation).
+    resilience: dict[str, object] = field(default_factory=dict)
     #: span name -> cumulative wall seconds.
     stage_timings: dict[str, float] = field(default_factory=dict)
     #: Top-level span trees (nested records).
@@ -120,6 +124,7 @@ class RunManifest:
         results: dict[str, object] | None = None,
         cache: str | None = None,
         engine: dict[str, object] | None = None,
+        resilience: dict[str, object] | None = None,
     ) -> "RunManifest":
         """Assemble a manifest from a config and the observability state."""
         config_d = config_to_dict(config)
@@ -131,6 +136,7 @@ class RunManifest:
             git=git_describe(),
             cache=cache,
             engine=_jsonable(engine or {}),
+            resilience=_jsonable(resilience or {}),
             results=_jsonable(results or {}),
         )
         if collector is not None:
@@ -157,6 +163,7 @@ class RunManifest:
                 "git": self.git,
                 "cache": self.cache,
                 "engine": self.engine,
+                "resilience": self.resilience,
                 "stage_timings": self.stage_timings,
                 "results": self.results,
             }
@@ -187,6 +194,7 @@ class RunManifest:
             git=head.get("git"),
             cache=head.get("cache"),
             engine=head.get("engine", {}),
+            resilience=head.get("resilience", {}),
             stage_timings=head.get("stage_timings", {}),
             results=head.get("results", {}),
             schema=head.get("schema", MANIFEST_SCHEMA_VERSION),

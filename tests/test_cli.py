@@ -128,6 +128,69 @@ def test_cli_analyze_defaults_to_all_benchmarks(capsys):
         assert name in out
 
 
+def test_cli_checkpoint_then_resume(capsys, tmp_path):
+    ckpt = tmp_path / "ckpt"
+    code = main(["c17", "--seed", "424", "--checkpoint-dir", str(ckpt)])
+    assert code == 0
+    first = capsys.readouterr().out
+    assert "recomputed atpg, stuck_sim, extraction, switch_sim" in first
+
+    code = main(
+        ["c17", "--seed", "424", "--checkpoint-dir", str(ckpt), "--resume"]
+    )
+    assert code == 0
+    second = capsys.readouterr().out
+    assert "restored atpg, stuck_sim, extraction, switch_sim" in second
+
+    # The resumed run reports the exact same fitted parameters.
+    fit_line = next(line for line in first.splitlines() if "fit of eq. 11" in line)
+    assert fit_line in second
+
+
+def test_cli_resume_requires_checkpoint_dir(capsys):
+    code = main(["c17", "--resume"])
+    assert code == 2
+    assert "--resume requires --checkpoint-dir" in capsys.readouterr().err
+
+
+def test_cli_unwritable_checkpoint_dir_fails_cleanly(capsys, tmp_path):
+    blocker = tmp_path / "occupied"
+    blocker.write_text("not a directory")
+    code = main(["c17", "--checkpoint-dir", str(blocker / "sub")])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "checkpoint failure" in err
+    assert "Traceback" not in err
+
+
+def test_cli_corrupt_checkpoint_exits_nonzero(capsys, tmp_path):
+    from repro.experiments import ExperimentConfig
+    from repro.resilience import CheckpointStore
+
+    ckpt = tmp_path / "ckpt"
+    assert main(["c17", "--seed", "425", "--checkpoint-dir", str(ckpt)]) == 0
+    capsys.readouterr()
+    store = CheckpointStore(ckpt, ExperimentConfig(benchmark="c17", seed=425))
+    path = store.path_for("atpg")
+    path.write_bytes(path.read_bytes()[:40])
+
+    code = main(
+        ["c17", "--seed", "425", "--checkpoint-dir", str(ckpt), "--resume"]
+    )
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "checkpoint failure" in err
+    assert "Traceback" not in err
+
+
+def test_cli_invalid_config_value_exits_nonzero(capsys):
+    code = main(["c17", "--yield", "1.5"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "invalid configuration" in err
+    assert "target_yield" in err
+
+
 def test_cli_trace_writes_manifest(capsys, tmp_path):
     from repro.obs.manifest import read_manifests
 
