@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Chaos smoke: crash the pipeline mid-run, resume it, verify bit-exactness.
+
+The deterministic chaos harness (:mod:`repro.resilience.chaos`) injects a
+crash immediately after the stuck-at fault-simulation stage of a
+checkpointed run.  The script then resumes from the surviving checkpoints
+and asserts the recovered result is identical — same test sequence, same
+first-detection indices, same fitted ``(R, theta_max)`` — to an
+uninterrupted run.  It also injects a chunk failure into the parallel
+fault-simulation engine and asserts the salvaged result matches the serial
+engine exactly.
+
+This is the CI chaos-smoke gate.  Run:  PYTHONPATH=src python examples/chaos_smoke.py
+"""
+
+import sys
+import tempfile
+
+from repro.circuit import c17
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.resilience import ChaosInjectedError, ChaosPlan, ChaosRule, chaos
+from repro.simulation import FaultSimulator, ParallelFaultSimulator, collapse_faults
+
+
+def check_resume_after_crash() -> None:
+    config = ExperimentConfig(benchmark="c17", seed=2026)
+    reference = run_experiment(config)
+
+    crash_after_stuck_sim = ChaosPlan(
+        rules=(
+            ChaosRule(point="pipeline.stage", kind="exception", keys={"stuck_sim"}),
+        )
+    )
+    with tempfile.TemporaryDirectory() as checkpoint_dir:
+        try:
+            with chaos.active(crash_after_stuck_sim):
+                run_experiment(config, checkpoint_dir=checkpoint_dir)
+        except ChaosInjectedError:
+            print("pipeline crashed after stuck_sim (injected), as planned")
+        else:
+            raise AssertionError("chaos injection did not fire")
+
+        resumed = run_experiment(config, checkpoint_dir=checkpoint_dir, resume=True)
+
+    assert resumed.stages_restored == ["atpg", "stuck_sim"], resumed.stages_restored
+    assert resumed.stages_recomputed == ["extraction", "switch_sim"]
+    assert resumed.test_patterns == reference.test_patterns
+    assert resumed.stuck_result.first_detection == reference.stuck_result.first_detection
+    assert resumed.fit().theta_max == reference.fit().theta_max
+    assert resumed.fit().susceptibility_ratio == reference.fit().susceptibility_ratio
+    print(
+        "resume ok: restored "
+        + ", ".join(resumed.stages_restored)
+        + "; recomputed "
+        + ", ".join(resumed.stages_recomputed)
+        + "; results bit-identical"
+    )
+
+
+def check_salvage_under_chunk_failure() -> None:
+    import random
+    import warnings
+
+    circuit = c17()
+    faults = collapse_faults(circuit)
+    rng = random.Random(99)
+    patterns = [[rng.randint(0, 1) for _ in range(5)] for _ in range(64)]
+    reference = FaultSimulator(circuit).run(patterns, faults=faults)
+
+    fail_first_chunk_once = ChaosPlan(
+        rules=(
+            ChaosRule(
+                point="parallel.chunk", kind="exception", keys={0}, attempts={0}
+            ),
+        )
+    )
+    pool = ParallelFaultSimulator(circuit, max_workers=2, crossover=0)
+    with chaos.active(fail_first_chunk_once), warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        result = pool.run(patterns, faults=faults)
+
+    assert result.first_detection == reference.first_detection
+    assert result.detection_counts == reference.detection_counts
+    info = pool.engine_info()
+    assert info["degraded"] is True
+    assert info["chunks_salvaged"] == 1, info
+    print(
+        "salvage ok: chunk failure injected, "
+        f"{info['chunks_salvaged']} chunk salvaged, "
+        f"{info['chunk_retries']} retry, result == serial engine"
+    )
+
+
+def main() -> int:
+    check_resume_after_crash()
+    check_salvage_under_chunk_failure()
+    print("chaos smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
