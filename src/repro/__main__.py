@@ -4,20 +4,28 @@ Usage::
 
     python -m repro [benchmark] [--svg layout.svg] [--technique voltage]
                     [--seed N] [--max-random-patterns N]
-                    [--profile] [--trace run.jsonl]
+                    [--profile] [--trace run.jsonl] [--trace-format jsonl]
+                    [--progress] [--events events.jsonl]
                     [--checkpoint-dir DIR] [--resume]
     python -m repro analyze [circuit ...] [--quick] [--json FILE]
                     [--fail-on-error]
+    python -m repro obs {list,diff,check-bench} ...
 
 The default command prints the coverage-growth table (fig. 4), the
 defect-level comparison (fig. 5) and the fitted eq.-11 parameters;
 optionally renders the generated layout to SVG.  ``--profile`` prints a
 per-stage timing tree and a metric table after the run; ``--trace FILE``
 appends a JSON-lines run manifest (config hash, stage durations, metrics,
-fitted parameters) to ``FILE``.  ``--checkpoint-dir DIR`` persists every
-completed pipeline stage under ``DIR`` (keyed by configuration hash) and
-``--resume`` restores the stages a previous, interrupted run already
-completed; a corrupt checkpoint exits non-zero with a one-line message.
+fitted parameters) to ``FILE``, or — with ``--trace-format chrome`` —
+writes a Chrome/Perfetto trace instead (one lane per worker process; load
+it in ``chrome://tracing`` or https://ui.perfetto.dev).  ``--progress``
+renders live progress on stderr (patterns applied, faults remaining,
+detection rate, chunk completions, ETA) and ``--events FILE`` streams
+every pipeline event to FILE as JSON lines.  ``--checkpoint-dir DIR``
+persists every completed pipeline stage under ``DIR`` (keyed by
+configuration hash) and ``--resume`` restores the stages a previous,
+interrupted run already completed; a corrupt checkpoint exits non-zero
+with a one-line message.
 
 ``analyze`` runs the static-analysis subsystem (lint, SCOAP testability,
 implication-based untestable-fault screening) over one or more built-in
@@ -25,6 +33,11 @@ circuits without simulating anything; ``--quick`` skips the implication
 screen, ``--json FILE`` writes the machine-readable report, and
 ``--fail-on-error`` exits non-zero when any circuit has ERROR-severity
 findings (the CI gate).
+
+``obs`` inspects recorded history (see :mod:`repro.obs.cli`): ``list``
+tabulates the runs in trace files, ``diff`` compares two runs field by
+field, and ``check-bench`` gates fresh ``BENCH_*.json`` timings against a
+committed baseline.
 """
 
 from __future__ import annotations
@@ -95,7 +108,29 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--trace",
         metavar="FILE",
-        help="append a JSON-lines run manifest to FILE",
+        help=(
+            "write a trace to FILE: a JSON-lines run manifest (default "
+            "format, appended) or a Chrome trace (--trace-format chrome)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-format",
+        default="jsonl",
+        choices=["jsonl", "chrome"],
+        help=(
+            "trace file format: 'jsonl' run manifest (default) or 'chrome' "
+            "trace-event JSON for chrome://tracing / Perfetto"
+        ),
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="render live progress (ETA, detection rate, chunks) on stderr",
+    )
+    parser.add_argument(
+        "--events",
+        metavar="FILE",
+        help="stream pipeline events to FILE as JSON lines (tailable)",
     )
     parser.add_argument(
         "--checkpoint-dir",
@@ -209,10 +244,20 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "analyze":
         return analyze_main(argv[1:])
+    if argv and argv[0] == "obs":
+        from repro.obs.cli import obs_main
+
+        return obs_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     if args.resume and not args.checkpoint_dir:
         print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    if args.trace_format == "chrome" and not args.trace:
+        print(
+            "error: --trace-format chrome requires --trace FILE",
+            file=sys.stderr,
+        )
         return 2
 
     if args.trace:
@@ -227,6 +272,32 @@ def main(argv: list[str] | None = None) -> int:
     instrumented = args.profile or args.trace
     if instrumented:
         collector, metrics = obs.enable()
+
+    # The event bus runs whenever any consumer wants live events: the
+    # progress renderer, the JSONL event stream, or the Chrome exporter
+    # (which places retry/checkpoint instant markers on the timeline).
+    chrome = bool(args.trace) and args.trace_format == "chrome"
+    streaming = args.progress or bool(args.events) or chrome
+    renderer = event_sink = marker_sink = None
+    if streaming:
+        bus = obs.enable_events()
+        if args.progress:
+            renderer = obs.ProgressRenderer()
+            bus.subscribe(renderer)
+        if args.events:
+            try:
+                event_sink = obs.JsonlEventSink(args.events, bus)
+            except OSError as exc:
+                print(
+                    f"error: cannot write events file {args.events}: {exc}",
+                    file=sys.stderr,
+                )
+                obs.disable_events()
+                if instrumented:
+                    obs.disable()
+                return 2
+        if chrome:
+            marker_sink = obs.ListSink(bus)
 
     try:
         config = ExperimentConfig(
@@ -253,6 +324,14 @@ def main(argv: list[str] | None = None) -> int:
         )
     except CheckpointError as exc:
         print(f"error: checkpoint failure: {exc}", file=sys.stderr)
+        if streaming:
+            if renderer is not None:
+                renderer.close()
+            if event_sink is not None:
+                event_sink.close()
+            obs.disable_events()
+        if instrumented:
+            obs.disable()
         return 2
     if args.checkpoint_dir:
         restored = ", ".join(result.stages_restored) or "none"
@@ -309,10 +388,31 @@ def main(argv: list[str] | None = None) -> int:
         f"{ppm(final_dl):.0f} ppm"
     )
 
-    if args.profile:
-        print("\n" + obs.render_profile(collector, metrics))
+    if streaming:
+        # Close the live consumers before the post-run reports print.
+        if renderer is not None:
+            renderer.close()
+        if event_sink is not None:
+            event_sink.close()
+            print(
+                f"{event_sink.written} events streamed to {args.events}"
+            )
+        obs.disable_events()
 
-    if args.trace:
+    if args.profile:
+        print("\n" + obs.render_profile(collector, metrics, engine=result.engine))
+
+    if chrome:
+        n_events = obs.write_chrome_trace(
+            args.trace,
+            collector,
+            marker_sink.events if marker_sink is not None else None,
+        )
+        print(
+            f"\nchrome trace ({n_events} events) written to {args.trace}; "
+            "load it in chrome://tracing or https://ui.perfetto.dev"
+        )
+    elif args.trace:
         manifest = obs.RunManifest.from_run(
             config,
             collector=collector,

@@ -11,10 +11,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro import obs
+from repro.atpg.patterns import TestSet, random_patterns
 from repro.circuit.netlist import Circuit
+from repro.obs.events import ProgressEvent
 from repro.simulation.fault_sim import FaultSimulator
 from repro.simulation.faults import StuckAtFault, collapse_faults
-from repro.atpg.patterns import TestSet, random_patterns
 
 __all__ = ["RandomAtpgResult", "generate_random_tests"]
 
@@ -111,6 +112,22 @@ def generate_random_tests(
                 remaining = [f for f in remaining if f not in hits]
             else:
                 useless_run += n_here
+            if obs.events_enabled():
+                obs.emit(
+                    ProgressEvent(
+                        stage="random_atpg",
+                        completed=generated,
+                        total=max_patterns,
+                        unit="patterns",
+                        data={
+                            "faults_remaining": len(remaining),
+                            "detection_rate": (
+                                len(detected) / total if total else 1.0
+                            ),
+                            "useless_run": useless_run,
+                        },
+                    )
+                )
 
         coverage = 1.0 if total == 0 else len(detected) / total
         random_span.set(n_patterns=generated, coverage=round(coverage, 4))

@@ -24,6 +24,19 @@ Naming scheme (see ``docs/OBSERVABILITY.md``): dotted lower-case
 
 from __future__ import annotations
 
+from repro.obs.events import (
+    CheckpointEvent,
+    Event,
+    EventBus,
+    JsonlEventSink,
+    ListSink,
+    ProgressEvent,
+    ProgressRenderer,
+    RetryEvent,
+    StageEvent,
+    event_from_record,
+)
+from repro.obs.export import chrome_trace, write_chrome_trace
 from repro.obs.manifest import (
     MANIFEST_SCHEMA_VERSION,
     RunManifest,
@@ -62,10 +75,28 @@ __all__ = [
     "render_metrics",
     "render_profile",
     "NULL_SPAN",
+    "enable_events",
+    "disable_events",
+    "events_enabled",
+    "event_bus",
+    "emit",
+    "Event",
+    "EventBus",
+    "ProgressEvent",
+    "StageEvent",
+    "RetryEvent",
+    "CheckpointEvent",
+    "JsonlEventSink",
+    "ListSink",
+    "ProgressRenderer",
+    "event_from_record",
+    "chrome_trace",
+    "write_chrome_trace",
 ]
 
 _collector: TraceCollector | None = None
 _registry: MetricsRegistry | None = None
+_bus: EventBus | None = None
 
 
 def enable(
@@ -127,3 +158,44 @@ def set_gauge(name: str, value: float) -> None:
     if _registry is None:
         return
     _registry.gauge(name).set(value)
+
+
+# ---------------------------------------------------------------------------
+# Event bus (live progress / streaming events; see repro.obs.events)
+# ---------------------------------------------------------------------------
+def enable_events(bus: EventBus | None = None) -> EventBus:
+    """Install (fresh or given) event bus; returns it.
+
+    Independent of :func:`enable`: a run can stream events without paying
+    for span/metric collection, and vice versa.
+    """
+    global _bus
+    _bus = bus or EventBus()
+    return _bus
+
+
+def disable_events() -> None:
+    """Return event emission to the zero-overhead no-op state."""
+    global _bus
+    _bus = None
+
+
+def events_enabled() -> bool:
+    """True while an event bus is installed.
+
+    Call sites inside loops guard event *construction* behind this, so the
+    disabled path never allocates an event object.
+    """
+    return _bus is not None
+
+
+def event_bus() -> EventBus | None:
+    """The active event bus, or None when disabled."""
+    return _bus
+
+
+def emit(event: Event) -> None:
+    """Publish ``event`` to the active bus (no-op while disabled)."""
+    if _bus is None:
+        return
+    _bus.publish(event)

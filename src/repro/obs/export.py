@@ -1,0 +1,166 @@
+"""Chrome/Perfetto trace-event export of collected spans and events.
+
+Converts a :class:`~repro.obs.trace.TraceCollector`'s span forest — parent
+spans plus any worker-process spans merged in by the parallel engine — into
+the Chrome trace-event JSON format (the ``{"traceEvents": [...]}`` object
+form), loadable in ``chrome://tracing`` and https://ui.perfetto.dev.
+
+Layout:
+
+* one **process lane per OS process** — the parent pipeline is one lane,
+  every pool worker another.  Worker spans are recognised by the
+  ``worker_pid`` attribute the telemetry merge tags them with (see
+  ``repro.simulation.parallel``); a span inherits its nearest tagged
+  ancestor's lane, so untagged children of a worker span stay in the worker
+  lane.  Within a process, one thread lane per collector thread is not
+  tracked — spans nest by time, which the viewers render correctly.
+* spans become complete events (``"ph": "X"``) with microsecond timestamps;
+* retry/checkpoint events from the event bus become instant events
+  (``"ph": "i"``), globally scoped so they draw as full-height markers.
+
+All spans and events share one timebase: ``time.perf_counter()`` is
+CLOCK_MONOTONIC-backed on the platforms we run on, so timestamps taken in
+worker processes line up with the parent's on the same machine.  Timestamps
+are rebased to the earliest span so traces start at t=0.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable, Sequence
+
+from repro.obs.events import CheckpointEvent, Event, RetryEvent
+from repro.obs.trace import Span, TraceCollector
+
+__all__ = ["chrome_trace", "write_chrome_trace"]
+
+#: Span attribute naming the OS process a span was recorded in.
+WORKER_PID_ATTR = "worker_pid"
+
+
+def _jsonable_args(attributes: dict[str, object]) -> dict[str, object]:
+    return {
+        k: v if isinstance(v, (bool, int, float, str, type(None))) else repr(v)
+        for k, v in attributes.items()
+    }
+
+
+def _collect_complete_events(
+    span: Span,
+    lane_pid: int,
+    base: float,
+    out: list[dict],
+) -> None:
+    pid_attr = span.attributes.get(WORKER_PID_ATTR)
+    if isinstance(pid_attr, int):
+        lane_pid = pid_attr
+    if span.end_wall is not None:
+        out.append(
+            {
+                "name": span.name,
+                "ph": "X",
+                "ts": round(1e6 * (span.start_wall - base), 3),
+                "dur": round(1e6 * span.wall_time, 3),
+                "pid": lane_pid,
+                "tid": lane_pid,
+                "args": _jsonable_args(span.attributes),
+            }
+        )
+    for child in span.children:
+        _collect_complete_events(child, lane_pid, base, out)
+
+
+def _earliest_start(spans: Iterable[Span]) -> float | None:
+    starts = [
+        s.start_wall
+        for root in spans
+        for s in root.iter_tree()
+        if s.end_wall is not None
+    ]
+    return min(starts) if starts else None
+
+
+def chrome_trace(
+    collector: TraceCollector,
+    events: Sequence[Event] | None = None,
+    main_pid: int | None = None,
+) -> dict:
+    """Build the Chrome trace-event object for a collector's span forest.
+
+    ``events`` (optional) adds instant markers for
+    :class:`~repro.obs.events.RetryEvent` and
+    :class:`~repro.obs.events.CheckpointEvent`; other event types are
+    ignored.  ``main_pid`` labels the parent lane (default: this process).
+    """
+    pid = main_pid if main_pid is not None else os.getpid()
+    roots = list(collector.roots)
+    base = _earliest_start(roots)
+    if base is None:
+        base = 0.0
+    trace_events: list[dict] = []
+    for root in roots:
+        _collect_complete_events(root, pid, base, trace_events)
+
+    lanes = sorted({e["pid"] for e in trace_events} | {pid})
+    for lane in lanes:
+        label = "pipeline (main)" if lane == pid else f"fault-sim worker {lane}"
+        trace_events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": lane,
+                "tid": lane,
+                "args": {"name": label},
+            }
+        )
+        # Sort order: main lane first, workers after, in pid order.
+        trace_events.append(
+            {
+                "name": "process_sort_index",
+                "ph": "M",
+                "pid": lane,
+                "tid": lane,
+                "args": {"sort_index": 0 if lane == pid else lane},
+            }
+        )
+
+    for event in events or ():
+        if isinstance(event, RetryEvent):
+            name = f"retry {event.point} key={event.key}"
+        elif isinstance(event, CheckpointEvent):
+            name = f"checkpoint {event.action} {event.stage}"
+        else:
+            continue
+        trace_events.append(
+            {
+                "name": name,
+                "ph": "i",
+                "s": "g",  # global scope: full-height marker
+                "ts": round(1e6 * (event.ts_mono - base), 3),
+                "pid": pid,
+                "tid": pid,
+                "args": _jsonable_args(
+                    {
+                        k: v
+                        for k, v in event.__dict__.items()
+                        if k not in ("ts", "ts_mono")
+                    }
+                ),
+            }
+        )
+
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str,
+    collector: TraceCollector,
+    events: Sequence[Event] | None = None,
+) -> int:
+    """Write the Chrome trace JSON to ``path``; returns the event count."""
+    trace = chrome_trace(collector, events)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle, sort_keys=True)
+        handle.write("\n")
+    return len(trace["traceEvents"])

@@ -18,6 +18,7 @@ import dataclasses
 import hashlib
 import json
 import subprocess
+import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -213,14 +214,37 @@ class RunManifest:
 
 
 def read_manifests(path: str) -> list[RunManifest]:
-    """Parse every manifest in a JSON-lines trace file (appended runs ok)."""
+    """Parse every manifest in a JSON-lines trace file (appended runs ok).
+
+    Corrupt or truncated lines — the torn final record of a run killed
+    mid-write is the common case — are skipped with a :class:`RuntimeWarning`
+    naming the line number, so one bad record never makes a whole history
+    file unreadable.
+    """
     groups: list[list[dict]] = []
     with open(path, encoding="utf-8") as handle:
-        for line in handle:
+        for lineno, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
                 continue
-            record = json.loads(line)
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                warnings.warn(
+                    f"{path}:{lineno}: skipping corrupt/truncated manifest "
+                    f"record ({exc})",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                continue
+            if not isinstance(record, dict):
+                warnings.warn(
+                    f"{path}:{lineno}: skipping non-record JSON line "
+                    f"({type(record).__name__})",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                continue
             if record.get("type") == "manifest" or not groups:
                 groups.append([])
             groups[-1].append(record)

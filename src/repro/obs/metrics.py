@@ -98,6 +98,42 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-th percentile (``q`` in [0, 100]) from buckets.
+
+        The estimator finds the bucket holding the target rank and linearly
+        interpolates inside it; the exact ``min``/``max`` summaries bound the
+        open underflow/overflow buckets, so the estimate always lies within
+        ``[min, max]`` and is exact for 0, for 100, and whenever the bucket
+        holding the rank has collapsed to a single point.  With no samples it
+        returns 0.0.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self.count:
+            return 0.0
+        if q == 0.0:
+            return self.min
+        if q == 100.0:
+            return self.max
+        # Target rank over the sorted samples (nearest-rank, 1-based).
+        rank = q / 100.0 * self.count
+        cumulative = 0
+        for i, n in enumerate(self.buckets):
+            if not n:
+                continue
+            if cumulative + n >= rank:
+                lower = self.bounds[i - 1] if i > 0 else self.min
+                upper = self.bounds[i] if i < len(self.bounds) else self.max
+                lower = max(lower, self.min)
+                upper = min(upper, self.max)
+                if upper <= lower:
+                    return lower
+                fraction = (rank - cumulative) / n
+                return lower + fraction * (upper - lower)
+            cumulative += n
+        return self.max  # pragma: no cover - ranks always land in a bucket
+
     def nonzero_buckets(self) -> list[tuple[float | None, float | None, int]]:
         """(lower, upper, count) for populated buckets; None marks +/-inf."""
         out: list[tuple[float | None, float | None, int]] = []
@@ -147,6 +183,26 @@ class MetricsRegistry:
     def counters(self) -> dict[str, Counter]:
         with self._lock:
             return dict(self._counters)
+
+    def counter_values(self) -> dict[str, int]:
+        """name -> current value for every counter (a point-in-time copy).
+
+        The worker-telemetry protocol diffs two of these snapshots to get the
+        counter *deltas* one fault chunk contributed (see
+        ``repro.simulation.parallel``).
+        """
+        with self._lock:
+            return {name: c.value for name, c in self._counters.items()}
+
+    def merge_counter_deltas(
+        self, deltas: dict[str, int], skip: frozenset[str] = frozenset()
+    ) -> None:
+        """Add per-name counter deltas (e.g. from a worker process) into this
+        registry, ignoring names in ``skip`` and non-positive deltas."""
+        for name, delta in deltas.items():
+            if name in skip or delta <= 0:
+                continue
+            self.counter(name).inc(delta)
 
     @property
     def gauges(self) -> dict[str, Gauge]:

@@ -100,6 +100,8 @@ def render_metrics(registry: MetricsRegistry) -> str:
                 name,
                 "histogram",
                 f"n={hist.count} mean={hist.mean:.3g} "
+                f"p50={hist.percentile(50):.3g} "
+                f"p95={hist.percentile(95):.3g} "
                 f"min={hist.min:.3g} max={hist.max:.3g}",
             ]
         )
@@ -111,6 +113,41 @@ def render_metrics(registry: MetricsRegistry) -> str:
     return "\n".join(lines)
 
 
-def render_profile(collector: TraceCollector, registry: MetricsRegistry) -> str:
-    """The full ``--profile`` report: span tree plus metric table."""
-    return render_span_tree(collector) + "\n\n" + render_metrics(registry)
+def _render_engine(engine: dict[str, object]) -> str:
+    """One-block engine descriptor (``engine_info()`` of the last run)."""
+    lines = ["engine:"]
+    for key, value in engine.items():
+        if value is None:
+            continue
+        lines.append(f"  {key}: {value}")
+    return "\n".join(lines)
+
+
+def render_profile(
+    collector: TraceCollector,
+    registry: MetricsRegistry,
+    engine: dict[str, object] | None = None,
+) -> str:
+    """The full ``--profile`` report: span tree, engine block, metric table.
+
+    ``engine`` is the fault-simulation engine descriptor
+    (:meth:`~repro.simulation.parallel.ParallelFaultSimulator.engine_info`);
+    when given it renders between the tree and the metrics, and a one-line
+    resilience summary (retries / salvaged / serial chunks) follows the
+    metrics when the run had anything to report.
+    """
+    parts = [render_span_tree(collector)]
+    if engine:
+        parts.append(_render_engine(engine))
+    parts.append(render_metrics(registry))
+    retries = registry.counters.get("resilience.chunk_retries")
+    salvaged = registry.counters.get("resilience.chunks_salvaged")
+    degraded = registry.counters.get("resilience.degraded_runs")
+    if any(c is not None and c.value for c in (retries, salvaged, degraded)):
+        parts.append(
+            "resilience: "
+            f"{retries.value if retries else 0} chunk retries, "
+            f"{salvaged.value if salvaged else 0} chunks salvaged, "
+            f"{degraded.value if degraded else 0} degraded run(s)"
+        )
+    return "\n\n".join(parts)

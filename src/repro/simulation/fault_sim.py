@@ -518,10 +518,41 @@ class FaultSimulator:
         """
         if faults is None:
             faults = full_fault_universe(self.circuit)
+        first_detection, detection_counts = self._simulate_groups(
+            groups, n_patterns, faults, drop_detected
+        )
+        obs.set_gauge("fault_sim.word_width", self.width)
+        obs.inc("fault_sim.patterns_applied", n_patterns)
+        obs.inc("fault_sim.faults_simulated", len(faults))
+        if drop_detected:
+            obs.inc("fault_sim.faults_dropped", len(first_detection))
+        obs.inc("fault_sim.detections", sum(detection_counts.values()))
+        return FaultSimResult(
+            faults=list(faults),
+            first_detection=first_detection,
+            n_patterns=n_patterns,
+            detection_counts=detection_counts,
+        )
 
+    def _simulate_groups(
+        self,
+        groups: Sequence[Sequence[int]],
+        n_patterns: int,
+        faults: list[StuckAtFault],
+        drop_detected: bool,
+    ) -> tuple[dict[StuckAtFault, int], dict[StuckAtFault, int]]:
+        """The simulation core: span + group loop, **no counter updates**.
+
+        :meth:`run_packed` layers the ``fault_sim.*`` counters on top.  The
+        parallel engine's serial-salvage path calls this directly and
+        accounts for its chunks itself — counters are owned either by one
+        serial run or by the supervising parent, never both, so merged
+        parallel profiles match serial runs without double counting.
+        """
         first_detection: dict[StuckAtFault, int] = {}
         detection_counts: dict[StuckAtFault, int] = {}
         width = self.width
+        emit_progress = obs.events_enabled()
         with obs.span(
             "fault_sim.run",
             n_patterns=n_patterns,
@@ -561,19 +592,21 @@ class FaultSimulator:
                     else:
                         survivors.append(pair)
                 work = survivors
-
-        obs.set_gauge("fault_sim.word_width", width)
-        obs.inc("fault_sim.patterns_applied", n_patterns)
-        obs.inc("fault_sim.faults_simulated", len(faults))
-        if drop_detected:
-            obs.inc("fault_sim.faults_dropped", len(first_detection))
-        obs.inc("fault_sim.detections", sum(detection_counts.values()))
-        return FaultSimResult(
-            faults=list(faults),
-            first_detection=first_detection,
-            n_patterns=n_patterns,
-            detection_counts=detection_counts,
-        )
+                if emit_progress and faults:
+                    obs.emit(
+                        obs.ProgressEvent(
+                            stage="fault_sim",
+                            completed=base + n_here,
+                            total=n_patterns,
+                            unit="patterns",
+                            data={
+                                "faults_remaining": len(work),
+                                "detection_rate": len(first_detection)
+                                / len(faults),
+                            },
+                        )
+                    )
+        return first_detection, detection_counts
 
     # ------------------------------------------------------------------
     def detects(self, fault: StuckAtFault, pattern: Sequence[int]) -> bool:

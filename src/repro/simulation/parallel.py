@@ -26,6 +26,15 @@ Degradation is never silent: it warns, increments the
 The fan-out also degrades gracefully by *choice*: below a work crossover
 (``n_faults x n_patterns``) or with one worker the serial
 :class:`~repro.simulation.fault_sim.FaultSimulator` runs in-process instead.
+
+**Worker telemetry** (see ``docs/OBSERVABILITY.md``): when the parent is
+collecting (``--profile``/``--trace``), each worker runs its own collector
+and ships its span trees and counter *deltas* back inside the chunk result
+envelope.  The parent merges an envelope exactly once — at the moment the
+chunk is accepted — so fresh-pool retries cannot double-count, and the
+merged parallel profile equals a serial run of the same job.  Counters in
+:data:`RUN_SCOPED_COUNTERS` are the one exception: every chunk observes the
+full pattern sequence, so the parent counts those once itself.
 """
 
 from __future__ import annotations
@@ -38,6 +47,8 @@ from typing import Callable, Sequence
 from repro import obs
 from repro.circuit.library import DEFAULT_WORD_WIDTH
 from repro.circuit.netlist import Circuit
+from repro.obs.events import ProgressEvent, RetryEvent
+from repro.obs.trace import Span
 from repro.resilience import chaos
 from repro.resilience.errors import ChunkFailure, FailureKind, classify_failure
 from repro.resilience.retry import DEFAULT_RETRY_POLICY, RetryPolicy
@@ -45,16 +56,26 @@ from repro.simulation.fault_sim import FaultSimResult, FaultSimulator
 from repro.simulation.faults import StuckAtFault, full_fault_universe
 from repro.simulation.logic_sim import pack_patterns
 
-__all__ = ["ParallelFaultSimulator", "DEFAULT_CROSSOVER"]
+__all__ = ["ParallelFaultSimulator", "DEFAULT_CROSSOVER", "RUN_SCOPED_COUNTERS"]
 
 #: Below this many fault x pattern evaluations the pool start-up and pickling
 #: overhead outweighs the fan-out; the serial engine runs instead.
 DEFAULT_CROSSOVER = 2_000_000
 
+#: Counters with *per-run* semantics: every chunk's engine counts the whole
+#: applied sequence, so summing them across chunks would overstate the run.
+#: The supervising parent owns these and counts them exactly once; everything
+#: else in a worker's counter delta is chunk-additive and merges by summation.
+RUN_SCOPED_COUNTERS = frozenset({"fault_sim.patterns_applied"})
+
 # Worker-process state, installed once per worker by _init_worker.
 _WORKER_SIM: FaultSimulator | None = None
 _WORKER_GROUPS: list[list[int]] | None = None
 _WORKER_N_PATTERNS: int = 0
+
+#: The worker-telemetry envelope riding along with each chunk result:
+#: ``{"worker_pid": int, "counters": {name: delta}, "spans": [records]}``.
+ChunkTelemetry = dict | None
 
 
 def _init_worker(
@@ -62,10 +83,18 @@ def _init_worker(
     width: int,
     patterns: list[list[int]],
     plan: chaos.ChaosPlan | None = None,
+    collect_telemetry: bool = False,
 ) -> None:
-    """Pool initializer: compile the engine and pack the patterns once."""
+    """Pool initializer: compile the engine and pack the patterns once.
+
+    When the parent is collecting (``--profile``/``--trace``), the worker
+    installs its own collector + registry so each chunk can ship its span
+    trees and counter deltas back in the result envelope.
+    """
     global _WORKER_SIM, _WORKER_GROUPS, _WORKER_N_PATTERNS
     chaos.install(plan)
+    if collect_telemetry:
+        obs.enable()
     _WORKER_SIM = FaultSimulator(circuit, width=width)
     _WORKER_GROUPS = pack_patterns(
         patterns, len(circuit.primary_inputs), width
@@ -78,14 +107,43 @@ def _simulate_chunk(
     drop_detected: bool,
     chunk_id: int = 0,
     attempt: int = 0,
-) -> tuple[dict[StuckAtFault, int], dict[StuckAtFault, int]]:
-    """Simulate one fault chunk against the worker's packed groups."""
+) -> tuple[dict[StuckAtFault, int], dict[StuckAtFault, int], ChunkTelemetry]:
+    """Simulate one fault chunk against the worker's packed groups.
+
+    Returns the two result maps plus a telemetry envelope (None when the
+    worker is not collecting): the worker's counter *deltas* over this chunk
+    and the span trees it produced, tagged with the worker's pid.  A chunk
+    that fails returns nothing, so the parent only ever merges telemetry for
+    work it actually accepted — retries can never double-count.
+    """
     assert _WORKER_SIM is not None and _WORKER_GROUPS is not None
     chaos.maybe_inject("parallel.chunk", key=chunk_id, attempt=attempt)
+    registry = obs.registry()
+    collector = obs.collector()
+    counters_before = registry.counter_values() if registry is not None else {}
+    roots_before = len(collector.roots) if collector is not None else 0
     result = _WORKER_SIM.run_packed(
         _WORKER_GROUPS, _WORKER_N_PATTERNS, faults, drop_detected
     )
-    return result.first_detection, result.detection_counts
+    telemetry: ChunkTelemetry = None
+    if registry is not None:
+        deltas = {
+            name: value - counters_before.get(name, 0)
+            for name, value in registry.counter_values().items()
+        }
+        telemetry = {
+            "worker_pid": os.getpid(),
+            "counters": {n: d for n, d in deltas.items() if d > 0},
+            "spans": [
+                span.to_record()
+                for span in (
+                    collector.roots[roots_before:]
+                    if collector is not None
+                    else []
+                )
+            ],
+        }
+    return result.first_detection, result.detection_counts, telemetry
 
 
 class ParallelFaultSimulator:
@@ -206,6 +264,7 @@ class ParallelFaultSimulator:
         serial_pending: dict[int, list[StuckAtFault]] = {}
         pool_chunks_done = 0
         salvaged = 0
+        previous_failures: dict[int, ChunkFailure] = {}
 
         with obs.span(
             "fault_sim.parallel",
@@ -223,12 +282,33 @@ class ParallelFaultSimulator:
                         self._sleep(delay)
                     obs.inc("resilience.chunk_retries", len(pending))
                     self.last_chunk_retries += len(pending)
+                    if obs.events_enabled():
+                        for cid in sorted(pending):
+                            failure = previous_failures.get(cid)
+                            obs.emit(
+                                RetryEvent(
+                                    point="parallel.chunk",
+                                    key=cid,
+                                    attempt=attempt,
+                                    reason=failure.reason if failure else "",
+                                    delay_s=delay,
+                                )
+                            )
                 done, failures = self._pool_round(
-                    pattern_rows, pending, drop_detected, attempt, plan, workers
+                    pattern_rows,
+                    pending,
+                    drop_detected,
+                    attempt,
+                    plan,
+                    workers,
+                    progress=(pool_chunks_done, len(chunks)),
                 )
-                for cid, (chunk_first, chunk_counts) in done.items():
+                for cid, (chunk_first, chunk_counts, telemetry) in done.items():
                     first_detection.update(chunk_first)
                     detection_counts.update(chunk_counts)
+                    # A chunk leaves ``pending`` the moment it is accepted, so
+                    # a later retry round can never merge its telemetry twice.
+                    self._merge_chunk_telemetry(telemetry, cid)
                     del pending[cid]
                 pool_chunks_done += len(done)
                 if failures:
@@ -236,6 +316,7 @@ class ParallelFaultSimulator:
                     # *salvaged*: kept, never discarded or recomputed.
                     salvaged += len(done)
                 self.last_failures.extend(failures.values())
+                previous_failures = failures
                 # Fatal chunks leave the pool-retry rotation: they re-run
                 # serially, where the real exception propagates unmasked.
                 for cid, failure in failures.items():
@@ -253,14 +334,22 @@ class ParallelFaultSimulator:
                         self.width,
                     )
                     for cid in sorted(serial_pending):
-                        chunk_result = self.serial.run_packed(
-                            groups,
-                            len(pattern_rows),
-                            serial_pending[cid],
-                            drop_detected,
+                        chunk = serial_pending[cid]
+                        chunk_first, chunk_counts = (
+                            self.serial._simulate_groups(
+                                groups, len(pattern_rows), chunk, drop_detected
+                            )
                         )
-                        first_detection.update(chunk_result.first_detection)
-                        detection_counts.update(chunk_result.detection_counts)
+                        first_detection.update(chunk_first)
+                        detection_counts.update(chunk_counts)
+                        # The salvage engine leaves counting to us, exactly
+                        # like an accepted worker envelope.
+                        obs.inc("fault_sim.faults_simulated", len(chunk))
+                        if drop_detected:
+                            obs.inc("fault_sim.faults_dropped", len(chunk_first))
+                        obs.inc(
+                            "fault_sim.detections", sum(chunk_counts.values())
+                        )
                 self.last_chunks_serial = len(serial_pending)
 
         if self.last_failures:
@@ -270,17 +359,45 @@ class ParallelFaultSimulator:
         self.last_workers = workers if pool_chunks_done else 1
         obs.set_gauge("fault_sim.workers", self.last_workers)
         obs.set_gauge("fault_sim.word_width", self.width)
+        # Run-scoped: counted once for the whole run, never per chunk, so the
+        # merged parallel profile matches a serial run of the same job (see
+        # RUN_SCOPED_COUNTERS).  Chunk-additive counters arrive via the
+        # worker envelopes and the salvage accounting above.
         obs.inc("fault_sim.patterns_applied", len(pattern_rows))
-        obs.inc("fault_sim.faults_simulated", len(faults))
-        if drop_detected:
-            obs.inc("fault_sim.faults_dropped", len(first_detection))
-        obs.inc("fault_sim.detections", sum(detection_counts.values()))
         return FaultSimResult(
             faults=list(faults),
             first_detection=first_detection,
             n_patterns=len(pattern_rows),
             detection_counts=detection_counts,
         )
+
+    def _merge_chunk_telemetry(
+        self, telemetry: ChunkTelemetry, chunk_id: int
+    ) -> None:
+        """Fold one accepted chunk's worker telemetry into the parent.
+
+        Counter deltas merge additively, except the run-scoped names in
+        :data:`RUN_SCOPED_COUNTERS` which the parent counts itself.  Worker
+        span trees are rebuilt and attached under the currently-open parent
+        span (``fault_sim.parallel``), tagged with the worker pid and chunk
+        id so reports and the Chrome exporter can lane them per process.
+        """
+        if not telemetry:
+            return
+        registry = obs.registry()
+        if registry is not None:
+            registry.merge_counter_deltas(
+                telemetry.get("counters", {}), skip=RUN_SCOPED_COUNTERS
+            )
+        collector = obs.collector()
+        if collector is not None:
+            for record in telemetry.get("spans", []):
+                span = Span.from_record(record)
+                span.attributes.setdefault(
+                    "worker_pid", telemetry.get("worker_pid")
+                )
+                span.attributes["chunk_id"] = chunk_id
+                collector.attach(span)
 
     def _record_degradation(
         self, salvaged: int, pool_chunks_done: int, n_chunks: int
@@ -312,22 +429,47 @@ class ParallelFaultSimulator:
         attempt: int,
         plan: chaos.ChaosPlan | None,
         workers: int,
+        progress: tuple[int, int] = (0, 0),
     ) -> tuple[
-        dict[int, tuple[dict[StuckAtFault, int], dict[StuckAtFault, int]]],
+        dict[
+            int,
+            tuple[
+                dict[StuckAtFault, int],
+                dict[StuckAtFault, int],
+                ChunkTelemetry,
+            ],
+        ],
         dict[int, ChunkFailure],
     ]:
-        """Run ``pending`` chunks in one (fresh) pool; classify what failed."""
+        """Run ``pending`` chunks in one (fresh) pool; classify what failed.
+
+        ``progress`` is ``(chunks_done_before_this_round, total_chunks)``,
+        used to publish per-chunk :class:`~repro.obs.events.ProgressEvent`\\ s
+        with run-wide completion counts.
+        """
         from concurrent.futures import Future, ProcessPoolExecutor, wait
 
         results: dict[
-            int, tuple[dict[StuckAtFault, int], dict[StuckAtFault, int]]
+            int,
+            tuple[
+                dict[StuckAtFault, int],
+                dict[StuckAtFault, int],
+                ChunkTelemetry,
+            ],
         ] = {}
         failures: dict[int, ChunkFailure] = {}
+        chunks_done, total_chunks = progress
         try:
             pool = ProcessPoolExecutor(
                 max_workers=min(workers, len(pending)),
                 initializer=_init_worker,
-                initargs=(self.circuit, self.width, pattern_rows, plan),
+                initargs=(
+                    self.circuit,
+                    self.width,
+                    pattern_rows,
+                    plan,
+                    obs.is_enabled(),
+                ),
             )
         except Exception as exc:  # pool never started: every chunk fails
             obs.inc("fault_sim.pool_failures")
@@ -339,6 +481,7 @@ class ParallelFaultSimulator:
         timed_out = False
         try:
             futures: dict[Future, int] = {}
+            submitted_at: dict[int, float] = {}
             submit_failure: BaseException | None = None
             for cid, chunk in sorted(pending.items()):
                 try:
@@ -350,6 +493,7 @@ class ParallelFaultSimulator:
                     failures[cid] = classify_failure(exc, cid)
                     continue
                 futures[future] = cid
+                submitted_at[cid] = time.perf_counter()
             if submit_failure is not None:
                 obs.inc("fault_sim.pool_failures")
                 obs.inc(f"fault_sim.pool_failure.{type(submit_failure).__name__}")
@@ -389,6 +533,29 @@ class ParallelFaultSimulator:
                         failures[cid] = classify_failure(exc, cid)
                         obs.inc(
                             f"resilience.chunk_failure.{type(exc).__name__}"
+                        )
+                        continue
+                    chunks_done += 1
+                    if obs.events_enabled():
+                        telemetry = results[cid][2]
+                        obs.emit(
+                            ProgressEvent(
+                                stage="fault_sim.parallel",
+                                completed=chunks_done,
+                                total=total_chunks or None,
+                                unit="chunks",
+                                data={
+                                    "chunk_id": cid,
+                                    "latency_s": time.perf_counter()
+                                    - submitted_at[cid],
+                                    "workers": workers,
+                                    "worker_pid": (
+                                        telemetry.get("worker_pid")
+                                        if telemetry
+                                        else None
+                                    ),
+                                },
+                            )
                         )
         finally:
             # A hung pool is abandoned (workers keep running until their

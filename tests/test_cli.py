@@ -9,8 +9,10 @@ from repro.__main__ import main
 @pytest.fixture(autouse=True)
 def _clean_obs_state():
     obs.disable()
+    obs.disable_events()
     yield
     obs.disable()
+    obs.disable_events()
 
 
 def test_cli_runs_small_benchmark(capsys, tmp_path):
@@ -64,6 +66,91 @@ def test_cli_profile_prints_span_tree_and_metrics(capsys):
     assert "fault_sim.patterns_applied" in out
     # --profile leaves the global state disabled afterwards.
     assert not obs.is_enabled()
+
+
+def test_cli_profile_includes_engine_block(capsys):
+    code = main(["c17", "--seed", "271828", "--profile"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "engine:" in out
+    assert "word_width:" in out
+    assert "workers:" in out
+
+
+def test_cli_events_stream_ends_with_terminal_stage_events(capsys, tmp_path):
+    import json
+
+    events_file = tmp_path / "events.jsonl"
+    code = main(["c17", "--seed", "555", "--events", str(events_file)])
+    assert code == 0
+    assert "events streamed to" in capsys.readouterr().out
+    records = [
+        json.loads(line) for line in events_file.read_text().splitlines()
+    ]
+    assert records, "event stream is empty"
+    # Every record parses and carries the discriminator + both clocks.
+    for record in records:
+        assert record["type"] in (
+            "ProgressEvent",
+            "StageEvent",
+            "RetryEvent",
+            "CheckpointEvent",
+        )
+        assert record["ts"] > 0 and record["ts_mono"] > 0
+    # Each pipeline stage ends with a terminal StageEvent, and the stream
+    # itself terminates on the whole-pipeline one.
+    ends = {
+        r["stage"]
+        for r in records
+        if r["type"] == "StageEvent" and r["status"] == "end"
+    }
+    for stage in ("atpg", "stuck_sim", "extraction", "switch_sim", "pipeline"):
+        assert stage in ends
+    assert records[-1]["type"] == "StageEvent"
+    assert records[-1]["stage"] == "pipeline"
+    assert records[-1]["status"] == "end"
+    assert not obs.events_enabled()
+
+
+def test_cli_progress_renders_to_stderr(capsys):
+    code = main(["c17", "--seed", "666", "--progress"])
+    assert code == 0
+    err = capsys.readouterr().err
+    assert "[pipeline] started" in err
+    assert "[atpg] done" in err
+    assert "% detected" in err
+
+
+def test_cli_trace_format_chrome_writes_valid_trace(capsys, tmp_path):
+    import json
+
+    trace_file = tmp_path / "trace.json"
+    code = main(
+        [
+            "c17",
+            "--seed",
+            "777",
+            "--trace",
+            str(trace_file),
+            "--trace-format",
+            "chrome",
+        ]
+    )
+    assert code == 0
+    assert "chrome trace" in capsys.readouterr().out
+    parsed = json.loads(trace_file.read_text())
+    events = parsed["traceEvents"]
+    complete = [e for e in events if e["ph"] == "X"]
+    assert {e["name"] for e in complete} >= {"pipeline.run"}
+    assert any(e["name"] == "process_name" for e in events)
+    # Chrome format replaces the manifest: the file is one JSON object.
+    assert trace_file.read_text().count("pipeline.run") >= 1
+
+
+def test_cli_trace_format_chrome_requires_trace(capsys):
+    code = main(["c17", "--trace-format", "chrome"])
+    assert code == 2
+    assert "requires --trace" in capsys.readouterr().err
 
 
 def test_cli_analyze_clean_circuit(capsys):

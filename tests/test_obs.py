@@ -170,6 +170,50 @@ def test_histogram_rejects_unsorted_bounds():
         Histogram("bad", bounds=[10.0, 1.0])
 
 
+def test_histogram_percentile_tracks_sorted_raw_samples():
+    # Bucketed percentiles are estimates; with bucket-aligned samples they
+    # must stay within one bucket of the exact (sorted-sample) answer.
+    import random
+
+    rng = random.Random(42)
+    samples = [rng.uniform(0.001, 1000.0) for _ in range(500)]
+    hist = Histogram("h")
+    for value in samples:
+        hist.observe(value)
+    ranked = sorted(samples)
+    for q in (10, 25, 50, 75, 90, 95, 99):
+        exact = ranked[min(len(ranked) - 1, int(q / 100.0 * len(ranked)))]
+        estimate = hist.percentile(q)
+        # Default bounds are decade-spaced: the estimate must land within
+        # one decade of the exact sample statistic.
+        assert exact / 10.0 <= estimate <= exact * 10.0
+
+
+def test_histogram_percentile_edge_cases():
+    hist = Histogram("h")
+    assert hist.percentile(50) == 0.0  # empty histogram
+    hist.observe(5.0)
+    hist.observe(7.0)
+    assert hist.percentile(0) == 5.0  # exact min
+    assert hist.percentile(100) == 7.0  # exact max
+    assert 5.0 <= hist.percentile(50) <= 7.0  # clamped inside [min, max]
+    with pytest.raises(ValueError):
+        hist.percentile(-1)
+    with pytest.raises(ValueError):
+        hist.percentile(101)
+
+
+def test_counter_values_and_merge_deltas():
+    registry = MetricsRegistry()
+    registry.counter("a").inc(3)
+    registry.counter("b").inc(1)
+    assert registry.counter_values() == {"a": 3, "b": 1}
+    registry.merge_counter_deltas(
+        {"a": 2, "b": 0, "c": 5, "skipme": 7}, skip=frozenset({"skipme"})
+    )
+    assert registry.counter_values() == {"a": 5, "b": 1, "c": 5}
+
+
 def test_registry_snapshot_is_jsonable():
     import json
 
@@ -229,6 +273,37 @@ def test_manifest_append_accumulates_runs(tmp_path):
     RunManifest(benchmark="c17", seed=1).write(str(path))
     RunManifest(benchmark="c432", seed=2).write(str(path))
     manifests = read_manifests(str(path))
+    assert [m.benchmark for m in manifests] == ["c17", "c432"]
+
+
+def test_read_manifests_skips_torn_final_line(tmp_path):
+    from repro.obs.manifest import RunManifest, read_manifests
+
+    path = tmp_path / "trace.jsonl"
+    RunManifest(benchmark="c17", seed=1).write(str(path))
+    RunManifest(
+        benchmark="c432", seed=2, metrics={"counters": {"x": 1}}
+    ).write(str(path))
+    # Tear the final (metrics) record mid-write, the way a killed run
+    # leaves it: the run's manifest line survives, its last record doesn't.
+    content = path.read_text()
+    path.write_text(content[: len(content) - len(content.splitlines()[-1]) // 2 - 1])
+    with pytest.warns(RuntimeWarning, match="corrupt/truncated"):
+        manifests = read_manifests(str(path))
+    assert [m.benchmark for m in manifests] == ["c17", "c432"]
+
+
+def test_read_manifests_skips_garbage_interior_line(tmp_path):
+    from repro.obs.manifest import RunManifest, read_manifests
+
+    path = tmp_path / "trace.jsonl"
+    RunManifest(benchmark="c17", seed=1).write(str(path))
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write("{not json at all\n")
+        handle.write("[1, 2, 3]\n")
+    RunManifest(benchmark="c432", seed=2).write(str(path))
+    with pytest.warns(RuntimeWarning):
+        manifests = read_manifests(str(path))
     assert [m.benchmark for m in manifests] == ["c17", "c432"]
 
 

@@ -1,0 +1,193 @@
+"""The ``python -m repro obs`` run-history subcommands."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.__main__ import main
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    obs.disable()
+    obs.disable_events()
+    yield
+    obs.disable()
+    obs.disable_events()
+
+
+@pytest.fixture()
+def history(tmp_path):
+    """A trace file with two recorded runs (different seeds)."""
+    path = tmp_path / "runs.jsonl"
+    assert main(["c17", "--seed", "101", "--trace", str(path)]) == 0
+    assert main(["c17", "--seed", "202", "--trace", str(path)]) == 0
+    return path
+
+
+# ---------------------------------------------------------------------------
+# list
+# ---------------------------------------------------------------------------
+def test_obs_list_tabulates_runs(history, capsys):
+    code = main(["obs", "list", str(history)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "2 recorded run(s)" in out
+    assert out.count("c17") >= 2
+    assert "theta_max" in out
+    assert "wall s" in out
+
+
+def test_obs_list_empty_file(tmp_path, capsys):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    code = main(["obs", "list", str(empty)])
+    assert code == 0
+    assert "no runs recorded" in capsys.readouterr().out
+
+
+def test_obs_list_missing_file_exits_2(tmp_path, capsys):
+    code = main(["obs", "list", str(tmp_path / "nope.jsonl")])
+    assert code == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# diff
+# ---------------------------------------------------------------------------
+def test_obs_diff_defaults_to_last_two_runs(history, capsys):
+    code = main(["obs", "diff", str(history)])
+    out = capsys.readouterr().out
+    assert code == 0
+    # The seed differs between the two runs -> config section present.
+    assert "config" in out
+    assert "seed" in out
+    assert "101" in out and "202" in out
+
+
+def test_obs_diff_explicit_indices(history, capsys):
+    code = main(["obs", "diff", str(history), "0", "1"])
+    assert code == 0
+    assert "A: run 0" in capsys.readouterr().out
+
+
+def test_obs_diff_identical_runs(history, capsys):
+    code = main(["obs", "diff", str(history), "0", "0"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "identical" in out
+
+
+def test_obs_diff_needs_two_runs(tmp_path, capsys):
+    path = tmp_path / "one.jsonl"
+    assert main(["c17", "--trace", str(path)]) == 0
+    code = main(["obs", "diff", str(path)])
+    assert code == 2
+    assert "needs two" in capsys.readouterr().err
+
+
+def test_obs_diff_rejects_one_index(history, capsys):
+    code = main(["obs", "diff", str(history), "0"])
+    assert code == 2
+    assert "zero or two" in capsys.readouterr().err
+
+
+def test_obs_diff_index_out_of_range(history, capsys):
+    code = main(["obs", "diff", str(history), "0", "9"])
+    assert code == 2
+    assert "out of range" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# check-bench
+# ---------------------------------------------------------------------------
+def _bench(path, seconds):
+    record = {
+        "benchmark": "c432",
+        "mode": "full",
+        "serial": {"seconds": seconds, "coverage": 0.99},
+        "parallel_seconds": seconds / 2,
+    }
+    path.write_text(json.dumps(record))
+    return path
+
+
+def test_check_bench_passes_within_tolerance(tmp_path, capsys):
+    fresh = _bench(tmp_path / "fresh.json", 1.2)
+    base = _bench(tmp_path / "base.json", 1.0)
+    code = main(
+        ["obs", "check-bench", str(fresh), "--baseline", str(base)]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "OK: 2 timing key(s)" in out
+
+
+def test_check_bench_fails_on_inflated_timing(tmp_path, capsys):
+    fresh = _bench(tmp_path / "fresh.json", 10.0)
+    base = _bench(tmp_path / "base.json", 1.0)
+    code = main(
+        ["obs", "check-bench", str(fresh), "--baseline", str(base)]
+    )
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "REGRESSION" in captured.out
+    assert "FAIL" in captured.err
+
+
+def test_check_bench_tolerance_is_configurable(tmp_path):
+    fresh = _bench(tmp_path / "fresh.json", 10.0)
+    base = _bench(tmp_path / "base.json", 1.0)
+    code = main(
+        [
+            "obs",
+            "check-bench",
+            str(fresh),
+            "--baseline",
+            str(base),
+            "--tolerance",
+            "20",
+        ]
+    )
+    assert code == 0
+
+
+def test_check_bench_only_compares_seconds_keys(tmp_path, capsys):
+    # Non-timing drift (coverage) must not trip the gate.
+    fresh = tmp_path / "fresh.json"
+    fresh.write_text(json.dumps({"seconds": 1.0, "coverage": 0.5}))
+    base = tmp_path / "base.json"
+    base.write_text(json.dumps({"seconds": 1.0, "coverage": 0.99}))
+    code = main(
+        ["obs", "check-bench", str(fresh), "--baseline", str(base)]
+    )
+    assert code == 0
+    assert "OK: 1 timing key(s)" in capsys.readouterr().out
+
+
+def test_check_bench_no_shared_keys_exits_2(tmp_path, capsys):
+    fresh = tmp_path / "fresh.json"
+    fresh.write_text(json.dumps({"a_seconds": 1.0}))
+    base = tmp_path / "base.json"
+    base.write_text(json.dumps({"b_seconds": 1.0}))
+    code = main(
+        ["obs", "check-bench", str(fresh), "--baseline", str(base)]
+    )
+    assert code == 2
+    assert "no shared timing keys" in capsys.readouterr().err
+
+
+def test_check_bench_missing_fresh_file_exits_2(tmp_path, capsys):
+    code = main(["obs", "check-bench", str(tmp_path / "nope.json")])
+    assert code == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_check_bench_default_baseline_is_git_head(capsys):
+    # The committed benchmark record gates against itself: always a pass.
+    code = main(["obs", "check-bench", "BENCH_fault_sim.json"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "git:HEAD" in out
+    assert "OK" in out

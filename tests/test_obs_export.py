@@ -1,0 +1,139 @@
+"""Chrome/Perfetto trace export: lanes, rebasing, metadata, instant events."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.events import CheckpointEvent, RetryEvent, StageEvent
+from repro.obs.export import chrome_trace, write_chrome_trace
+from repro.obs.trace import Span, TraceCollector
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    obs.disable()
+    obs.disable_events()
+    yield
+    obs.disable()
+    obs.disable_events()
+
+
+def _collector_with_work():
+    collector, _ = obs.enable()
+    with collector.start("pipeline.run", {"benchmark": "c17"}):
+        with collector.start("fault_sim.parallel", {}):
+            pass
+    return collector
+
+
+def _attach_worker_span(collector, pid, chunk_id):
+    worker = Span(
+        name="fault_sim.run",
+        attributes={"worker_pid": pid, "chunk_id": chunk_id},
+        start_wall=collector.roots[0].start_wall + 0.001,
+    )
+    worker.end_wall = worker.start_wall + 0.5
+    worker.end_cpu = 0.4
+    parallel = collector.roots[0].children[0]
+    parallel.children.append(worker)
+    return worker
+
+
+def test_spans_become_complete_events_rebased_to_zero():
+    collector = _collector_with_work()
+    trace = chrome_trace(collector)
+    complete = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    assert {e["name"] for e in complete} == {
+        "pipeline.run",
+        "fault_sim.parallel",
+    }
+    assert min(e["ts"] for e in complete) == 0.0
+    assert all(e["dur"] >= 0 for e in complete)
+    assert trace["displayTimeUnit"] == "ms"
+
+
+def test_worker_spans_get_their_own_lane():
+    collector = _collector_with_work()
+    _attach_worker_span(collector, pid=11111, chunk_id=0)
+    _attach_worker_span(collector, pid=22222, chunk_id=1)
+    trace = chrome_trace(collector, main_pid=99)
+    by_name = {}
+    for event in trace["traceEvents"]:
+        if event["ph"] == "X":
+            by_name.setdefault(event["name"], []).append(event["pid"])
+    assert by_name["pipeline.run"] == [99]
+    assert sorted(by_name["fault_sim.run"]) == [11111, 22222]
+    # Process metadata names every lane, main sorted first.
+    meta = {
+        e["pid"]: e["args"]["name"]
+        for e in trace["traceEvents"]
+        if e["name"] == "process_name"
+    }
+    assert meta[99] == "pipeline (main)"
+    assert meta[11111] == "fault-sim worker 11111"
+    sort_index = {
+        e["pid"]: e["args"]["sort_index"]
+        for e in trace["traceEvents"]
+        if e["name"] == "process_sort_index"
+    }
+    assert sort_index[99] == 0
+    assert sort_index[11111] == 11111
+
+
+def test_untagged_children_inherit_worker_lane():
+    collector = _collector_with_work()
+    worker = _attach_worker_span(collector, pid=11111, chunk_id=0)
+    child = Span(
+        name="fault_sim.group",
+        attributes={},
+        start_wall=worker.start_wall,
+    )
+    child.end_wall, child.end_cpu = worker.end_wall, 0.1
+    worker.children.append(child)
+    trace = chrome_trace(collector, main_pid=99)
+    lanes = {
+        e["name"]: e["pid"] for e in trace["traceEvents"] if e["ph"] == "X"
+    }
+    assert lanes["fault_sim.group"] == 11111
+
+
+def test_retry_and_checkpoint_events_become_instant_markers():
+    collector = _collector_with_work()
+    base = collector.roots[0].start_wall
+    events = [
+        RetryEvent(
+            point="parallel.chunk",
+            key=1,
+            attempt=1,
+            reason="boom",
+            ts_mono=base + 0.25,
+        ),
+        CheckpointEvent(stage="atpg", action="save", ts_mono=base + 0.5),
+        StageEvent(stage="atpg"),  # not a marker type: ignored
+    ]
+    trace = chrome_trace(collector, events=events)
+    instants = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+    assert len(instants) == 2
+    retry, checkpoint = instants
+    assert retry["name"] == "retry parallel.chunk key=1"
+    assert retry["s"] == "g"
+    assert retry["ts"] == pytest.approx(250_000, abs=1000)
+    assert retry["args"]["reason"] == "boom"
+    assert "ts_mono" not in retry["args"]
+    assert checkpoint["name"] == "checkpoint save atpg"
+
+
+def test_empty_collector_still_produces_valid_trace():
+    trace = chrome_trace(TraceCollector(), main_pid=7)
+    names = {e["name"] for e in trace["traceEvents"]}
+    assert names == {"process_name", "process_sort_index"}
+
+
+def test_write_chrome_trace_is_valid_json(tmp_path):
+    collector = _collector_with_work()
+    path = tmp_path / "trace.json"
+    count = write_chrome_trace(str(path), collector)
+    parsed = json.loads(path.read_text())
+    assert len(parsed["traceEvents"]) == count
+    assert any(e["ph"] == "X" for e in parsed["traceEvents"])

@@ -1,0 +1,250 @@
+"""Cross-process telemetry: worker counters and spans merge exactly once.
+
+The acceptance property for the worker-telemetry envelope is equality with
+the serial engine: a parallel run's merged ``fault_sim.*`` counters must be
+*identical* to a serial run of the same job — patterns applied counted once
+for the run (run-scoped), faults/detections summed across chunks — in the
+clean path, under chaos-injected retries (no double-merge), and through the
+serial-salvage path (no double-count).
+"""
+
+import random
+
+import pytest
+
+from repro import obs
+from repro.circuit import c17, c432_like
+from repro.obs.export import chrome_trace
+from repro.resilience import ChaosPlan, ChaosRule, chaos
+from repro.simulation import (
+    FaultSimulator,
+    ParallelFaultSimulator,
+    collapse_faults,
+)
+from repro.simulation.parallel import RUN_SCOPED_COUNTERS
+
+WORKERS = 2
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    chaos.uninstall()
+    obs.disable()
+    obs.disable_events()
+    yield
+    chaos.uninstall()
+    obs.disable()
+    obs.disable_events()
+
+
+def _patterns(circuit, n, seed=7):
+    rng = random.Random(seed)
+    n_pi = len(circuit.primary_inputs)
+    return [[rng.randint(0, 1) for _ in range(n_pi)] for _ in range(n)]
+
+
+def _fault_sim_counters(registry):
+    return {
+        name: value
+        for name, value in registry.counter_values().items()
+        if name.startswith("fault_sim.")
+        and not name.startswith("fault_sim.pool_failure")
+    }
+
+
+def _serial_counters(circuit, patterns, faults, width=256):
+    obs.enable()
+    FaultSimulator(circuit, width=width).run(patterns, faults=faults)
+    counters = _fault_sim_counters(obs.registry())
+    obs.disable()
+    return counters
+
+
+def _walk(span):
+    yield span
+    for child in span.children:
+        yield from _walk(child)
+
+
+def test_merged_parallel_counters_equal_serial_run(c432_circuit):
+    patterns = _patterns(c432_circuit, 64)
+    faults = collapse_faults(c432_circuit)
+    serial = _serial_counters(c432_circuit, patterns, faults)
+
+    obs.enable()
+    pool = ParallelFaultSimulator(
+        c432_circuit, width=256, max_workers=WORKERS, crossover=0
+    )
+    pool.run(patterns, faults=faults)
+    merged = _fault_sim_counters(obs.registry())
+
+    assert pool.last_engine == "parallel"
+    assert merged == serial
+    # The run-scoped counter equals the pattern count, not chunks x patterns.
+    assert merged["fault_sim.patterns_applied"] == len(patterns)
+
+
+def test_worker_spans_are_tagged_and_attached_under_parent(c432_circuit):
+    patterns = _patterns(c432_circuit, 64)
+    obs.enable()
+    pool = ParallelFaultSimulator(
+        c432_circuit, width=256, max_workers=WORKERS, crossover=0
+    )
+    pool.run(patterns)
+    roots = obs.collector().roots
+
+    parallel_roots = [r for r in roots if r.name == "fault_sim.parallel"]
+    assert len(parallel_roots) == 1
+    worker_spans = [
+        s
+        for s in _walk(parallel_roots[0])
+        if "worker_pid" in s.attributes
+    ]
+    assert {s.attributes["chunk_id"] for s in worker_spans} == set(
+        range(WORKERS)
+    )
+    for span in worker_spans:
+        assert span.name == "fault_sim.run"
+        assert isinstance(span.attributes["worker_pid"], int)
+        assert span.wall_time > 0
+
+
+def test_retried_chunks_merge_exactly_once(c17_circuit):
+    patterns = _patterns(c17_circuit, 48, seed=3)
+    faults = collapse_faults(c17_circuit)
+    serial = _serial_counters(c17_circuit, patterns, faults, width=64)
+
+    plan = ChaosPlan(
+        rules=(
+            ChaosRule(
+                point="parallel.chunk", kind="exception", keys={0}, attempts={0}
+            ),
+        )
+    )
+    obs.enable()
+    pool = ParallelFaultSimulator(
+        c17_circuit, width=64, max_workers=WORKERS, crossover=0
+    )
+    pool._sleep = lambda s: None
+    with chaos.active(plan), pytest.warns(RuntimeWarning, match="degraded"):
+        pool.run(patterns, faults=faults)
+    merged = _fault_sim_counters(obs.registry())
+    assert pool.last_chunk_retries == 1
+    assert merged == serial
+
+
+def test_serial_salvage_counts_chunks_exactly_once(c17_circuit):
+    patterns = _patterns(c17_circuit, 48, seed=5)
+    faults = collapse_faults(c17_circuit)
+    serial = _serial_counters(c17_circuit, patterns, faults, width=64)
+
+    # Chunk 0 fails on every pool attempt -> recovered by serial salvage.
+    plan = ChaosPlan(
+        rules=(ChaosRule(point="parallel.chunk", kind="exception", keys={0}),)
+    )
+    obs.enable()
+    pool = ParallelFaultSimulator(
+        c17_circuit, width=64, max_workers=WORKERS, crossover=0
+    )
+    pool._sleep = lambda s: None
+    with chaos.active(plan), pytest.warns(RuntimeWarning, match="degraded"):
+        pool.run(patterns, faults=faults)
+    merged = _fault_sim_counters(obs.registry())
+    assert pool.last_chunks_serial == 1
+    assert merged == serial
+
+
+def test_chunk_progress_and_retry_events_are_published(c17_circuit):
+    patterns = _patterns(c17_circuit, 48, seed=9)
+    plan = ChaosPlan(
+        rules=(
+            ChaosRule(
+                point="parallel.chunk", kind="exception", keys={0}, attempts={0}
+            ),
+        )
+    )
+    obs.enable()
+    bus = obs.enable_events()
+    sink = obs.ListSink(bus)
+    pool = ParallelFaultSimulator(
+        c17_circuit, width=64, max_workers=WORKERS, crossover=0
+    )
+    pool._sleep = lambda s: None
+    with chaos.active(plan), pytest.warns(RuntimeWarning, match="degraded"):
+        pool.run(patterns)
+
+    progress = [
+        e
+        for e in sink.events
+        if e.type == "ProgressEvent" and e.stage == "fault_sim.parallel"
+    ]
+    assert [e.completed for e in progress] == list(range(1, WORKERS + 1))
+    assert all(e.total == WORKERS for e in progress)
+    assert all(e.data["latency_s"] >= 0 for e in progress)
+    retries = [e for e in sink.events if e.type == "RetryEvent"]
+    assert len(retries) == 1
+    assert retries[0].point == "parallel.chunk"
+    assert retries[0].key == 0
+    assert retries[0].attempt == 1
+    assert "ChaosInjectedError" in retries[0].reason
+
+
+def test_run_scoped_counter_set_names_patterns_applied():
+    assert "fault_sim.patterns_applied" in RUN_SCOPED_COUNTERS
+
+
+def test_render_profile_with_worker_spans_is_stable(c432_circuit):
+    patterns = _patterns(c432_circuit, 64)
+    obs.enable()
+    pool = ParallelFaultSimulator(
+        c432_circuit, width=256, max_workers=WORKERS, crossover=0
+    )
+    pool.run(patterns)
+    collector, registry = obs.collector(), obs.registry()
+
+    report_a = obs.render_profile(
+        collector, registry, engine=pool.engine_info()
+    )
+    report_b = obs.render_profile(
+        collector, registry, engine=pool.engine_info()
+    )
+    assert report_a == report_b  # stable across repeated rendering
+    assert "fault_sim.parallel" in report_a
+    assert "worker_pid=" in report_a
+    assert "engine:" in report_a
+    assert "workers: 2" in report_a
+    tree = obs.render_span_tree(collector)
+    assert "fault_sim.run" in tree
+
+
+def test_obs_enabled_mid_run_does_not_crash(c432_circuit):
+    # First run with obs off (workers collect nothing), then enabled:
+    # both runs must complete and the second must carry telemetry.
+    patterns = _patterns(c432_circuit, 64)
+    pool = ParallelFaultSimulator(
+        c432_circuit, width=256, max_workers=WORKERS, crossover=0
+    )
+    result_off = pool.run(patterns)
+    obs.enable()
+    result_on = pool.run(patterns)
+    assert result_off.first_detection == result_on.first_detection
+    assert _fault_sim_counters(obs.registry())["fault_sim.faults_simulated"]
+
+
+def test_chrome_trace_has_one_lane_per_process(c432_circuit):
+    patterns = _patterns(c432_circuit, 64)
+    obs.enable()
+    pool = ParallelFaultSimulator(
+        c432_circuit, width=256, max_workers=WORKERS, crossover=0
+    )
+    pool.run(patterns)
+    trace = chrome_trace(obs.collector())
+    lanes = {e["pid"] for e in trace["traceEvents"]}
+    assert len(lanes) >= WORKERS + 1  # main + one per worker
+    names = {
+        e["args"]["name"]
+        for e in trace["traceEvents"]
+        if e["name"] == "process_name"
+    }
+    assert "pipeline (main)" in names
+    assert sum(1 for n in names if n.startswith("fault-sim worker")) >= WORKERS
