@@ -5,11 +5,12 @@ Usage::
     python -m repro [benchmark] [--svg layout.svg] [--technique voltage]
                     [--seed N] [--max-random-patterns N]
                     [--profile] [--trace run.jsonl] [--trace-format jsonl]
+                    [--attribution] [--attribution-memory]
                     [--progress] [--events events.jsonl]
                     [--checkpoint-dir DIR] [--resume]
     python -m repro analyze [circuit ...] [--quick] [--json FILE]
                     [--fail-on-error]
-    python -m repro obs {list,diff,check-bench} ...
+    python -m repro obs {list,diff,check-bench,html} ...
 
 The default command prints the coverage-growth table (fig. 4), the
 defect-level comparison (fig. 5) and the fitted eq.-11 parameters;
@@ -18,7 +19,12 @@ per-stage timing tree and a metric table after the run; ``--trace FILE``
 appends a JSON-lines run manifest (config hash, stage durations, metrics,
 fitted parameters) to ``FILE``, or — with ``--trace-format chrome`` —
 writes a Chrome/Perfetto trace instead (one lane per worker process; load
-it in ``chrome://tracing`` or https://ui.perfetto.dev).  ``--progress``
+it in ``chrome://tracing`` or https://ui.perfetto.dev).  ``--attribution``
+turns on the cost-attribution layer (:mod:`repro.obs.attribution`): kernel
+work counters by pipeline stage and cone-size bucket, rendered in the
+``--profile`` report and recorded into the run manifest;
+``--attribution-memory`` additionally traces each stage's ``tracemalloc``
+peak (slower).  ``--progress``
 renders live progress on stderr (patterns applied, faults remaining,
 detection rate, chunk completions, ETA) and ``--events FILE`` streams
 every pipeline event to FILE as JSON lines.  ``--checkpoint-dir DIR``
@@ -47,6 +53,7 @@ import sys
 
 from repro import obs
 from repro.circuit.iscas import BENCHMARKS
+from repro.obs import attribution
 from repro.core import ppm, williams_brown
 from repro.experiments import (
     ExperimentConfig,
@@ -120,6 +127,24 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "trace file format: 'jsonl' run manifest (default) or 'chrome' "
             "trace-event JSON for chrome://tracing / Perfetto"
+        ),
+    )
+    parser.add_argument(
+        "--attribution",
+        action="store_true",
+        help=(
+            "collect kernel cost attribution (gate-evals by stage and cone "
+            "bucket, pattern bytes, fault-drop drain); rendered by "
+            "--profile and recorded in the --trace manifest"
+        ),
+    )
+    parser.add_argument(
+        "--attribution-memory",
+        action="store_true",
+        help=(
+            "with --attribution: also trace each pipeline stage's "
+            "tracemalloc memory peak (slows allocation; implies "
+            "--attribution)"
         ),
     )
     parser.add_argument(
@@ -239,6 +264,56 @@ def analyze_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+#: n-detection depths beyond this collapse into one ">= cap" bin.
+_N_DETECTION_CAP = 16
+
+
+def _build_curves(result, fit) -> dict[str, object]:
+    """Sampled per-run curves for the manifest (dashboard source data).
+
+    The dashboard renderer (:mod:`repro.obs.html`) is stdlib-only and must
+    not import :mod:`repro.core` (numpy/scipy), so the fitted eq.-11 DL(T)
+    curve is sampled *here*, where the fit object already exists, and stored
+    as plain points.
+    """
+    y = result.config.target_yield
+    ks: list[int] = []
+    t_series: list[float] = []
+    theta_series: list[float] = []
+    dl_series: list[float] = []
+    for k, t, theta, _gamma, dl in result.series():
+        ks.append(k)
+        t_series.append(round(t, 6))
+        theta_series.append(round(theta, 6))
+        dl_series.append(round(dl, 9))
+    t_lo = min(t_series) if t_series else 0.0
+    fit_t = [t_lo + (1.0 - t_lo) * i / 40.0 for i in range(41)]
+    fit_dl = [round(float(fit.predict(y, t)), 9) for t in fit_t]
+    # n-detection depth histogram (Pomeranz/Reddy): how many faults the
+    # sequence detected exactly d times; depth 0 is the undetected set.
+    stuck = result.stuck_result
+    depth_counts = [0] * (_N_DETECTION_CAP + 1)
+    for count in stuck.detection_counts.values():
+        depth_counts[min(count, _N_DETECTION_CAP)] += 1
+    depth_counts[0] += len(stuck.faults) - len(stuck.detection_counts)
+    return {
+        "k": ks,
+        "T": t_series,
+        "theta": theta_series,
+        "DL": dl_series,
+        "fit_T": [round(t, 6) for t in fit_t],
+        "fit_DL": fit_dl,
+        "n_detection": {
+            "depth_cap": _N_DETECTION_CAP,
+            "counts": depth_counts,
+            "coverage_ge": [
+                round(stuck.n_detection_coverage(n), 6)
+                for n in range(1, 11)
+            ],
+        },
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -273,6 +348,10 @@ def main(argv: list[str] | None = None) -> int:
     if instrumented:
         collector, metrics = obs.enable()
 
+    attributing = args.attribution or args.attribution_memory
+    if attributing:
+        attribution.enable(memory=args.attribution_memory)
+
     # The event bus runs whenever any consumer wants live events: the
     # progress renderer, the JSONL event stream, or the Chrome exporter
     # (which places retry/checkpoint instant markers on the timeline).
@@ -295,6 +374,8 @@ def main(argv: list[str] | None = None) -> int:
                 obs.disable_events()
                 if instrumented:
                     obs.disable()
+                if attributing:
+                    attribution.disable()
                 return 2
         if chrome:
             marker_sink = obs.ListSink(bus)
@@ -332,6 +413,8 @@ def main(argv: list[str] | None = None) -> int:
             obs.disable_events()
         if instrumented:
             obs.disable()
+        if attributing:
+            attribution.disable()
         return 2
     if args.checkpoint_dir:
         restored = ", ".join(result.stages_restored) or "none"
@@ -399,8 +482,26 @@ def main(argv: list[str] | None = None) -> int:
             )
         obs.disable_events()
 
+    attribution_snapshot: dict[str, object] = {}
+    if attributing:
+        attr = attribution.collector()
+        if attr is not None:
+            if instrumented:
+                pipeline_wall = collector.stage_timings().get(
+                    "pipeline.run", 0.0
+                )
+                if pipeline_wall:
+                    reconcile = attr.reconcile(pipeline_wall)
+            attribution_snapshot = attr.snapshot()
+            if instrumented and pipeline_wall:
+                attribution_snapshot["reconcile"] = reconcile
+
     if args.profile:
         print("\n" + obs.render_profile(collector, metrics, engine=result.engine))
+        if attribution_snapshot:
+            from repro.obs.report import render_attribution
+
+            print("\n" + render_attribution(attribution_snapshot))
 
     if chrome:
         n_events = obs.write_chrome_trace(
@@ -420,6 +521,8 @@ def main(argv: list[str] | None = None) -> int:
             cache=cache_status,
             engine=result.engine,
             resilience=result.resilience_info(),
+            curves=_build_curves(result, fit),
+            attribution=attribution_snapshot,
             results={
                 "R": fit.susceptibility_ratio,
                 "theta_max_fit": fit.theta_max,
@@ -439,6 +542,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if instrumented:
         obs.disable()
+    if attributing:
+        attribution.disable()
     return 0
 
 

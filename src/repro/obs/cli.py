@@ -3,10 +3,17 @@
 Subcommands operate on the JSON-lines trace files ``--trace`` appends
 (:mod:`repro.obs.manifest`) and on the ``BENCH_*.json`` benchmark records:
 
-``list FILE...``
+``list FILE... [--json] [--limit N]``
     One row per recorded run: benchmark, configuration hash, git revision,
     engine, cache status and the headline results — a quick answer to "what
-    ran, when, and what came out".
+    ran, when, and what came out".  ``--json`` emits the rows as a JSON
+    array for scripting; ``--limit N`` keeps only the most recent N runs.
+``html [--manifests FILE]... [--out report.html] [--last N]``
+    Render the self-contained HTML dashboard (:mod:`repro.obs.html`) over
+    one or more manifest histories: run-history trends, coverage and DL(T)
+    curves, n-detection depth, pipeline waterfall, worker lanes, resilience
+    and cost attribution.  One file, inline CSS and SVG, no scripts, no
+    external resources — open it anywhere, attach it to CI artifacts.
 ``diff FILE [A B]``
     Field-level comparison of two runs from one history file (indices
     default to the last two; negatives count from the end): configuration
@@ -57,6 +64,40 @@ def build_obs_parser() -> argparse.ArgumentParser:
 
     p_list = sub.add_parser("list", help="tabulate the runs in trace files")
     p_list.add_argument("files", nargs="+", metavar="FILE")
+    p_list.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit rows as a JSON array instead of an aligned table",
+    )
+    p_list.add_argument(
+        "--limit",
+        type=int,
+        metavar="N",
+        help="show only the most recent N runs (across all files)",
+    )
+
+    p_html = sub.add_parser(
+        "html", help="render the self-contained HTML dashboard"
+    )
+    p_html.add_argument(
+        "--manifests",
+        action="append",
+        metavar="FILE",
+        help="manifest history file(s) (default: runs.jsonl; repeatable)",
+    )
+    p_html.add_argument(
+        "--out",
+        default="report.html",
+        metavar="FILE",
+        help="output HTML path (default: report.html)",
+    )
+    p_html.add_argument(
+        "--last",
+        type=int,
+        metavar="N",
+        help="render only the most recent N runs",
+    )
 
     p_diff = sub.add_parser("diff", help="compare two runs from one file")
     p_diff.add_argument("file", metavar="FILE")
@@ -120,17 +161,60 @@ def _manifest_row(index: int, source: str, manifest: RunManifest) -> list[str]:
     ]
 
 
-def _list_main(files: list[str]) -> int:
-    rows: list[list[str]] = []
+def _manifest_json_row(
+    index: int, source: str, manifest: RunManifest
+) -> dict[str, object]:
+    """The ``--json`` shape of one run row: typed values, not table text."""
+    engine = manifest.engine or {}
+    results = manifest.results or {}
+    final_dl = results.get("final_DL")
+    theta_max = results.get("theta_max_fit")
+    wall = (manifest.stage_timings or {}).get("pipeline.run")
+    return {
+        "index": index,
+        "file": source,
+        "benchmark": manifest.benchmark,
+        "config_hash": manifest.config_hash,
+        "seed": manifest.seed,
+        "git": manifest.git,
+        "cache": manifest.cache,
+        "engine": engine.get("engine"),
+        "workers": engine.get("workers"),
+        "degraded": bool(engine.get("degraded")),
+        "theta_max": float(theta_max) if theta_max is not None else None,
+        "final_DL_ppm": (
+            1e6 * float(final_dl) if final_dl is not None else None
+        ),
+        "wall_s": float(wall) if wall is not None else None,
+    }
+
+
+def _list_main(
+    files: list[str], as_json: bool = False, limit: int | None = None
+) -> int:
+    entries: list[tuple[int, str, RunManifest]] = []
     for path in files:
         try:
             manifests = read_manifests(path)
         except OSError as exc:
             print(f"error: cannot read {path}: {exc}", file=sys.stderr)
             return 2
-        rows.extend(
-            _manifest_row(i, path, m) for i, m in enumerate(manifests)
+        entries.extend((i, path, m) for i, m in enumerate(manifests))
+    if limit is not None:
+        if limit <= 0:
+            print("error: --limit must be positive", file=sys.stderr)
+            return 2
+        entries = entries[-limit:]
+    if as_json:
+        print(
+            json.dumps(
+                [_manifest_json_row(i, p, m) for i, p, m in entries],
+                indent=2,
+                sort_keys=True,
+            )
         )
+        return 0
+    rows = [_manifest_row(i, p, m) for i, p, m in entries]
     if not rows:
         print("no runs recorded")
         return 0
@@ -151,6 +235,43 @@ def _list_main(files: list[str]) -> int:
             rows,
             title=f"{len(rows)} recorded run(s)",
         )
+    )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# html
+# ---------------------------------------------------------------------------
+def _html_main(
+    files: list[str] | None, out: str, last: int | None
+) -> int:
+    from repro.obs.html import write_report
+
+    files = files or ["runs.jsonl"]
+    if last is not None and last <= 0:
+        print("error: --last must be positive", file=sys.stderr)
+        return 2
+    manifests: list[RunManifest] = []
+    for path in files:
+        try:
+            manifests.extend(read_manifests(path))
+        except OSError as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+    if not manifests:
+        print(
+            f"error: no runs recorded in {', '.join(files)}; run "
+            "`python -m repro <benchmark> --trace FILE` first",
+            file=sys.stderr,
+        )
+        return 2
+    n_bytes = write_report(
+        out, manifests, last=last, source=", ".join(files)
+    )
+    shown = min(len(manifests), last) if last else len(manifests)
+    print(
+        f"wrote {out} ({n_bytes:,} bytes, {shown} of "
+        f"{len(manifests)} recorded run(s))"
     )
     return 0
 
@@ -385,7 +506,9 @@ def obs_main(argv: list[str] | None = None) -> int:
     """Entry point of ``python -m repro obs``."""
     args = build_obs_parser().parse_args(argv)
     if args.command == "list":
-        return _list_main(args.files)
+        return _list_main(args.files, args.as_json, args.limit)
+    if args.command == "html":
+        return _html_main(args.manifests, args.out, args.last)
     if args.command == "diff":
         return _diff_main(args.file, args.indices)
     return _check_bench_main(args.bench, args.baseline, args.tolerance)

@@ -113,6 +113,15 @@ class RunManifest:
     metrics: dict[str, dict] = field(default_factory=dict)
     #: Fitted and measured outcomes: R, theta_max, final T / theta / DL, ...
     results: dict[str, object] = field(default_factory=dict)
+    #: Sampled per-run curves for the HTML dashboard: coverage/DL series
+    #: over vector count, the fitted eq.-11 DL(T) curve, the n-detection
+    #: depth histogram.  Empty when not recorded (older manifests).
+    curves: dict[str, object] = field(default_factory=dict)
+    #: Cost-attribution snapshot (``repro.obs.attribution``): kernel work
+    #: counters by stage and cone bucket, per-stage wall seconds, optional
+    #: memory peaks, and the wall-time reconciliation.  Empty when the run
+    #: was not attributed.
+    attribution: dict[str, object] = field(default_factory=dict)
     schema: int = MANIFEST_SCHEMA_VERSION
 
     # -- construction -------------------------------------------------------
@@ -126,6 +135,8 @@ class RunManifest:
         cache: str | None = None,
         engine: dict[str, object] | None = None,
         resilience: dict[str, object] | None = None,
+        curves: dict[str, object] | None = None,
+        attribution: dict[str, object] | None = None,
     ) -> "RunManifest":
         """Assemble a manifest from a config and the observability state."""
         config_d = config_to_dict(config)
@@ -139,6 +150,8 @@ class RunManifest:
             engine=_jsonable(engine or {}),
             resilience=_jsonable(resilience or {}),
             results=_jsonable(results or {}),
+            curves=_jsonable(curves or {}),
+            attribution=_jsonable(attribution or {}),
         )
         if collector is not None:
             manifest.stage_timings = {
@@ -169,6 +182,12 @@ class RunManifest:
                 "results": self.results,
             }
         ]
+        # Optional sections stay absent when empty: older readers (and the
+        # diff tool) see exactly the records they always saw.
+        if self.curves:
+            records[0]["curves"] = self.curves
+        if self.attribution:
+            records[0]["attribution"] = self.attribution
         records.extend({"type": "span", **span} for span in self.spans)
         if self.metrics:
             records.append({"type": "metrics", **self.metrics})
@@ -198,6 +217,8 @@ class RunManifest:
             resilience=head.get("resilience", {}),
             stage_timings=head.get("stage_timings", {}),
             results=head.get("results", {}),
+            curves=head.get("curves", {}),
+            attribution=head.get("attribution", {}),
             schema=head.get("schema", MANIFEST_SCHEMA_VERSION),
         )
         manifest.spans = [

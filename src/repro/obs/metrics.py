@@ -105,13 +105,18 @@ class Histogram:
         interpolates inside it; the exact ``min``/``max`` summaries bound the
         open underflow/overflow buckets, so the estimate always lies within
         ``[min, max]`` and is exact for 0, for 100, and whenever the bucket
-        holding the rank has collapsed to a single point.  With no samples it
-        returns 0.0.
+        holding the rank has collapsed to a single point.  With no samples
+        there is no percentile to report and :class:`ValueError` is raised —
+        a silent 0.0 here once masked an instrument that never observed
+        anything.
         """
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
         if not self.count:
-            return 0.0
+            raise ValueError(
+                f"percentile({q}) of empty histogram {self.name!r}: "
+                "no samples observed"
+            )
         if q == 0.0:
             return self.min
         if q == 100.0:

@@ -14,7 +14,12 @@ from __future__ import annotations
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Span, TraceCollector
 
-__all__ = ["render_span_tree", "render_metrics", "render_profile"]
+__all__ = [
+    "render_span_tree",
+    "render_metrics",
+    "render_profile",
+    "render_attribution",
+]
 
 
 def _fmt_ms(seconds: float) -> str:
@@ -110,6 +115,71 @@ def render_metrics(registry: MetricsRegistry) -> str:
         lines.extend("  " + line for line in _table(["name", "kind", "value"], rows))
     else:
         lines.append("  (no metrics recorded)")
+    return "\n".join(lines)
+
+
+def render_attribution(snapshot: dict[str, object]) -> str:
+    """The "where the time goes" block of an attribution snapshot.
+
+    ``snapshot`` is :meth:`AttributionCollector.snapshot`, optionally with a
+    ``reconcile`` section merged in (``__main__`` adds it from the
+    ``pipeline.run`` span wall).  Stage wall times render as a share-of-total
+    table, kernel work counters and the cone-bucket histogram follow, and
+    the reconciliation line closes the block.
+    """
+    lines = ["cost attribution:"]
+    stage_wall = snapshot.get("stage_wall_s", {})
+    if isinstance(stage_wall, dict) and stage_wall:
+        total = sum(stage_wall.values()) or 1.0
+        rows = [
+            [name, f"{1000.0 * seconds:9.1f} ms", f"{100.0 * seconds / total:5.1f} %"]
+            for name, seconds in sorted(
+                stage_wall.items(), key=lambda kv: -kv[1]
+            )
+        ]
+        lines.extend(
+            "  " + line for line in _table(["stage", "wall", "share"], rows)
+        )
+    stages = snapshot.get("stages", {})
+    if isinstance(stages, dict) and stages:
+        lines.append("  kernel work:")
+        for component, counters in sorted(stages.items()):
+            for quantity, value in sorted(counters.items()):
+                lines.append(f"    {component}.{quantity}: {value:,}")
+    cones = snapshot.get("cone_buckets", {})
+    if isinstance(cones, dict) and cones:
+        total_evals = sum(
+            c.get("gate_evals", 0) for c in cones.values()
+        ) or 1
+        lines.append("  gate-evals by cone size:")
+        rows = [
+            [
+                bucket,
+                str(counters.get("faults", 0)),
+                f"{counters.get('gate_evals', 0):,}",
+                f"{100.0 * counters.get('gate_evals', 0) / total_evals:5.1f} %",
+            ]
+            for bucket, counters in sorted(cones.items())
+        ]
+        lines.extend(
+            "    " + line
+            for line in _table(["cone bucket", "faults", "gate evals", "share"], rows)
+        )
+    memory = snapshot.get("memory_peak_bytes", {})
+    if isinstance(memory, dict) and memory:
+        lines.append("  memory peaks (tracemalloc):")
+        for name, peak in sorted(memory.items(), key=lambda kv: -kv[1]):
+            lines.append(f"    {name}: {peak / 1e6:.2f} MB")
+    reconcile = snapshot.get("reconcile", {})
+    if isinstance(reconcile, dict) and reconcile:
+        lines.append(
+            "  reconciliation: "
+            f"{reconcile.get('attributed_wall_s', 0.0):.3f} s attributed of "
+            f"{reconcile.get('pipeline_wall_s', 0.0):.3f} s pipeline wall "
+            f"({100.0 * float(reconcile.get('coverage', 0.0)):.1f} % covered)"
+        )
+    if len(lines) == 1:
+        lines.append("  (no attribution recorded)")
     return "\n".join(lines)
 
 

@@ -191,7 +191,6 @@ def test_histogram_percentile_tracks_sorted_raw_samples():
 
 def test_histogram_percentile_edge_cases():
     hist = Histogram("h")
-    assert hist.percentile(50) == 0.0  # empty histogram
     hist.observe(5.0)
     hist.observe(7.0)
     assert hist.percentile(0) == 5.0  # exact min
@@ -202,6 +201,18 @@ def test_histogram_percentile_edge_cases():
     with pytest.raises(ValueError):
         hist.percentile(101)
 
+
+def test_histogram_percentile_empty_raises():
+    # A percentile of nothing is undefined; the old 0.0 silently masked
+    # instruments that never observed a sample.
+    hist = Histogram("empty")
+    with pytest.raises(ValueError, match="empty histogram 'empty'"):
+        hist.percentile(50)
+    with pytest.raises(ValueError, match="no samples observed"):
+        hist.percentile(0)
+    # Out-of-range q still reports the range error, samples or not.
+    with pytest.raises(ValueError, match=r"\[0, 100\]"):
+        hist.percentile(150)
 
 def test_counter_values_and_merge_deltas():
     registry = MetricsRegistry()

@@ -191,3 +191,66 @@ def test_check_bench_default_baseline_is_git_head(capsys):
     assert code == 0
     assert "git:HEAD" in out
     assert "OK" in out
+
+
+def test_obs_diff_old_schema_manifest_missing_optional_fields(
+    tmp_path, capsys
+):
+    # Manifests written before engine/resilience/curves/attribution existed
+    # carry only the original keys; diff must handle them without raising.
+    old = {
+        "type": "manifest",
+        "schema": 1,
+        "benchmark": "c17",
+        "config": {"benchmark": "c17", "seed": 1},
+        "config_hash": "aaaa",
+        "seed": 1,
+        "git": None,
+        "cache": None,
+        "stage_timings": {"pipeline.run": 0.4},
+        "results": {"final_T": 0.9},
+    }
+    new = {
+        **old,
+        "config": {"benchmark": "c17", "seed": 2},
+        "config_hash": "bbbb",
+        "seed": 2,
+        "engine": {"engine": "serial", "workers": 1},
+        "resilience": {"chunk_retries": 0},
+        "curves": {"k": [1], "T": [0.9]},
+        "attribution": {"stage_wall_s": {"atpg": 0.1}},
+        "results": {"final_T": 0.95},
+    }
+    path = tmp_path / "mixed.jsonl"
+    with open(path, "w") as handle:
+        for record in (old, new):
+            handle.write(json.dumps(record) + "\n")
+    code = main(["obs", "diff", str(path), "0", "1"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "seed" in out
+    assert "final_T" in out
+
+
+def test_obs_html_renders_old_schema_history(tmp_path, capsys):
+    # Same mixed-vintage file through the dashboard: panels degrade to
+    # notes instead of raising on the missing optional sections.
+    record = {
+        "type": "manifest",
+        "schema": 1,
+        "benchmark": "c17",
+        "config": {"benchmark": "c17", "seed": 1},
+        "config_hash": "aaaa",
+        "seed": 1,
+        "git": None,
+        "cache": None,
+        "stage_timings": {"pipeline.run": 0.4},
+        "results": {"final_T": 0.9},
+    }
+    path = tmp_path / "old.jsonl"
+    path.write_text(json.dumps(record) + "\n")
+    out = tmp_path / "dash.html"
+    code = main(["obs", "html", "--manifests", str(path), "--out", str(out)])
+    assert code == 0
+    assert "wrote" in capsys.readouterr().out
+    assert "no per-run curves" in out.read_text()

@@ -137,3 +137,47 @@ def test_write_chrome_trace_is_valid_json(tmp_path):
     parsed = json.loads(path.read_text())
     assert len(parsed["traceEvents"]) == count
     assert any(e["ph"] == "X" for e in parsed["traceEvents"])
+
+
+def test_serial_run_exports_single_lane_trace():
+    # A zero-worker (serial) run has no worker_pid-tagged spans at all:
+    # every complete event lands on the main lane and exactly one process
+    # is named in the metadata.
+    collector = _collector_with_work()
+    trace = chrome_trace(collector, main_pid=42)
+    complete = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    assert complete  # spans exported
+    assert {e["pid"] for e in complete} == {42}
+    meta = {
+        e["pid"]: e["args"]["name"]
+        for e in trace["traceEvents"]
+        if e["name"] == "process_name"
+    }
+    assert meta == {42: "pipeline (main)"}
+    # The document stays valid trace-event JSON end to end.
+    json.loads(json.dumps(trace))
+
+
+def test_serial_pipeline_chrome_trace_end_to_end(tmp_path):
+    from repro.__main__ import main
+
+    out = tmp_path / "trace.json"
+    assert (
+        main(
+            [
+                "c17",
+                "--seed",
+                "5",
+                "--trace",
+                str(out),
+                "--trace-format",
+                "chrome",
+            ]
+        )
+        == 0
+    )
+    trace = json.loads(out.read_text())
+    complete = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    assert any(e["name"] == "pipeline.run" for e in complete)
+    # c17 runs serial (below the parallel crossover): one lane only.
+    assert len({e["pid"] for e in complete}) == 1

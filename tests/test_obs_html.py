@@ -1,0 +1,329 @@
+"""The self-contained HTML dashboard (``python -m repro obs html``).
+
+Panel rendering is tested on synthetic manifests (fast, no pipeline run);
+one end-to-end test drives the real CLI over a real traced run.  The
+self-containment property — no scripts, no external URLs — is asserted on
+every build because it is the whole point of the artifact.
+"""
+
+import json
+import re
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro import obs
+from repro.__main__ import main
+from repro.obs.html import PANEL_IDS, build_report, write_report
+from repro.obs.manifest import RunManifest, read_manifests
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    obs.disable()
+    obs.disable_events()
+    yield
+    obs.disable()
+    obs.disable_events()
+
+
+def _manifest(seed=1, **overrides):
+    """A synthetic but schema-complete manifest."""
+    base = dict(
+        benchmark="c17",
+        config={"benchmark": "c17", "seed": seed},
+        config_hash=f"hash{seed:04d}aaaaaaaa",
+        seed=seed,
+        git="abc1234",
+        cache="miss",
+        engine={"engine": "serial", "workers": 1},
+        resilience={
+            "chunk_retries": 1,
+            "chunks_salvaged": 0,
+            "engine_degraded": False,
+            "stages_restored": ["atpg"],
+            "stages_recomputed": [],
+        },
+        stage_timings={"pipeline.run": 0.5, "pipeline.atpg": 0.2},
+        spans=[
+            {
+                "name": "pipeline.run",
+                "attributes": {},
+                "wall_s": 0.5,
+                "cpu_s": 0.4,
+                "t0": 10.0,
+                "t1": 10.5,
+                "children": [
+                    {
+                        "name": "pipeline.atpg",
+                        "attributes": {},
+                        "wall_s": 0.2,
+                        "cpu_s": 0.2,
+                        "t0": 10.0,
+                        "t1": 10.2,
+                        "children": [],
+                    },
+                    {
+                        "name": "fault_sim.run",
+                        "attributes": {"worker_pid": 4242, "chunk_id": 0},
+                        "wall_s": 0.1,
+                        "cpu_s": 0.1,
+                        "t0": 10.2,
+                        "t1": 10.3,
+                        "children": [],
+                    },
+                ],
+            }
+        ],
+        metrics={"counters": {"fault_sim.faults_simulated": 22}},
+        results={
+            "final_T": 0.95,
+            "final_DL": 0.006,
+            "n_patterns": 40,
+            "theta_max_fit": 0.97,
+        },
+        curves={
+            "k": [1, 10, 40],
+            "T": [0.3, 0.8, 0.95],
+            "theta": [0.35, 0.85, 0.96],
+            "DL": [0.2, 0.05, 0.006],
+            "fit_T": [0.3, 0.6, 1.0],
+            "fit_DL": [0.2, 0.08, 0.0],
+            "n_detection": {
+                "depth_cap": 16,
+                "counts": [2, 5, 8, 7],
+                "coverage_ge": [0.9, 0.7, 0.4],
+            },
+        },
+        attribution={
+            "stages": {"fault_sim": {"gate_evals": 1234}},
+            "cone_buckets": {
+                "le_0004": {"faults": 30, "gate_evals": 900},
+                "le_0008": {"faults": 4, "gate_evals": 334},
+            },
+            "drops_per_block": {"0000": 20},
+            "stage_wall_s": {"atpg": 0.2, "stuck_sim": 0.1},
+            "reconcile": {
+                "pipeline_wall_s": 0.5,
+                "attributed_wall_s": 0.45,
+                "unattributed_wall_s": 0.05,
+                "coverage": 0.9,
+            },
+        },
+    )
+    base.update(overrides)
+    return RunManifest(**base)
+
+
+def _assert_self_contained(html):
+    assert "<script" not in html
+    assert not re.search(r"https?://", html)
+    assert "<link" not in html
+    # Every inline SVG must be parseable markup.
+    for svg in re.findall(r"<svg.*?</svg>", html, re.S):
+        ET.fromstring(svg)
+
+
+# ---------------------------------------------------------------------------
+# build_report
+# ---------------------------------------------------------------------------
+def test_full_report_has_every_panel_and_no_external_refs():
+    html = build_report([_manifest(1), _manifest(2)])
+    for panel_id in PANEL_IDS:
+        assert f'id="{panel_id}"' in html
+    _assert_self_contained(html)
+    assert html.count("<svg") >= 5
+    assert "<!DOCTYPE html>" in html
+    # Data made it into the marks: the worker lane and the cone buckets.
+    assert "pid 4242" in html
+    assert "le_0004" in html
+
+
+def test_report_on_old_schema_manifest_degrades_gracefully():
+    # A manifest written before curves/attribution existed (and without
+    # spans) renders notes, not exceptions.
+    old = _manifest(
+        3,
+        curves={},
+        attribution={},
+        spans=[],
+        resilience={},
+        stage_timings={},
+    )
+    html = build_report([old])
+    for panel_id in PANEL_IDS:
+        assert f'id="{panel_id}"' in html
+    _assert_self_contained(html)
+    assert "no per-run curves" in html
+    assert "--attribution" in html
+    assert "no spans" in html
+
+
+def test_report_with_no_manifests_renders_placeholders():
+    html = build_report([])
+    for panel_id in PANEL_IDS:
+        assert f'id="{panel_id}"' in html
+    _assert_self_contained(html)
+    assert "no runs recorded" in html
+
+
+def test_last_trims_history():
+    manifests = [_manifest(seed) for seed in range(5)]
+    html = build_report(manifests, last=2)
+    assert "2 run(s)" in html
+
+
+def test_html_escapes_untrusted_fields():
+    evil = _manifest(4, benchmark='<script>alert("x")</script>')
+    html = build_report([evil])
+    assert "<script" not in html
+    assert "&lt;script&gt;" in html
+
+
+def test_write_report_returns_bytes(tmp_path):
+    out = tmp_path / "report.html"
+    n = write_report(str(out), [_manifest(1)])
+    assert out.stat().st_size == n
+    assert n > 1000
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+def _write_history(tmp_path, manifests):
+    path = tmp_path / "runs.jsonl"
+    for manifest in manifests:
+        manifest.write(str(path))
+    return path
+
+
+def test_obs_html_cli_on_synthetic_history(tmp_path, capsys):
+    path = _write_history(tmp_path, [_manifest(1), _manifest(2)])
+    out = tmp_path / "dash.html"
+    code = main(
+        ["obs", "html", "--manifests", str(path), "--out", str(out)]
+    )
+    assert code == 0
+    assert "wrote" in capsys.readouterr().out
+    html = out.read_text()
+    for panel_id in PANEL_IDS:
+        assert f'id="{panel_id}"' in html
+    _assert_self_contained(html)
+
+
+def test_obs_html_cli_last_flag(tmp_path, capsys):
+    path = _write_history(tmp_path, [_manifest(s) for s in range(4)])
+    out = tmp_path / "dash.html"
+    assert (
+        main(
+            [
+                "obs",
+                "html",
+                "--manifests",
+                str(path),
+                "--out",
+                str(out),
+                "--last",
+                "2",
+            ]
+        )
+        == 0
+    )
+    assert "2 of 4 recorded run(s)" in capsys.readouterr().out
+    assert "2 run(s)" in out.read_text()
+
+
+def test_obs_html_cli_missing_file_exits_2(tmp_path, capsys):
+    code = main(
+        [
+            "obs",
+            "html",
+            "--manifests",
+            str(tmp_path / "nope.jsonl"),
+            "--out",
+            str(tmp_path / "dash.html"),
+        ]
+    )
+    assert code == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_obs_html_cli_rejects_nonpositive_last(tmp_path, capsys):
+    path = _write_history(tmp_path, [_manifest(1)])
+    code = main(
+        [
+            "obs",
+            "html",
+            "--manifests",
+            str(path),
+            "--out",
+            str(tmp_path / "dash.html"),
+            "--last",
+            "0",
+        ]
+    )
+    assert code == 2
+    assert "--last" in capsys.readouterr().err
+
+
+def test_obs_html_end_to_end_real_run(tmp_path, capsys):
+    """The real pipeline -> manifest -> dashboard path."""
+    trace = tmp_path / "runs.jsonl"
+    assert (
+        main(["c17", "--seed", "77", "--attribution", "--trace", str(trace)])
+        == 0
+    )
+    capsys.readouterr()
+    out = tmp_path / "report.html"
+    assert (
+        main(["obs", "html", "--manifests", str(trace), "--out", str(out)])
+        == 0
+    )
+    html = out.read_text()
+    _assert_self_contained(html)
+    for panel_id in PANEL_IDS:
+        assert f'id="{panel_id}"' in html
+    # The real run recorded curves and attribution, so the data panels
+    # carry marks rather than placeholder notes.
+    assert "no per-run curves" not in html
+    assert "Stage wall time" in html
+    assert "reconciliation" in html
+
+
+# ---------------------------------------------------------------------------
+# list --json / --limit (satellite)
+# ---------------------------------------------------------------------------
+def test_obs_list_json_emits_typed_rows(tmp_path, capsys):
+    path = _write_history(tmp_path, [_manifest(1), _manifest(2)])
+    code = main(["obs", "list", str(path), "--json"])
+    assert code == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert len(rows) == 2
+    assert rows[0]["benchmark"] == "c17"
+    assert rows[0]["theta_max"] == pytest.approx(0.97)
+    assert rows[0]["final_DL_ppm"] == pytest.approx(6000.0)
+    assert rows[0]["wall_s"] == pytest.approx(0.5)
+    assert rows[1]["seed"] == 2
+
+
+def test_obs_list_limit_keeps_most_recent(tmp_path, capsys):
+    path = _write_history(tmp_path, [_manifest(s) for s in range(4)])
+    code = main(["obs", "list", str(path), "--json", "--limit", "2"])
+    assert code == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert [r["seed"] for r in rows] == [2, 3]
+
+
+def test_obs_list_limit_rejects_nonpositive(tmp_path, capsys):
+    path = _write_history(tmp_path, [_manifest(1)])
+    assert main(["obs", "list", str(path), "--limit", "-1"]) == 2
+    assert "--limit" in capsys.readouterr().err
+
+
+def test_synthetic_manifest_roundtrips(tmp_path):
+    # The fixture stays honest: what we synthesise is what the real
+    # serialisation layer produces and re-reads.
+    path = _write_history(tmp_path, [_manifest(1)])
+    (back,) = read_manifests(str(path))
+    assert back.curves["n_detection"]["depth_cap"] == 16
+    assert back.attribution["reconcile"]["coverage"] == pytest.approx(0.9)
