@@ -1,23 +1,30 @@
-"""Wall-clock benchmark: wide-word compiled engine vs the seed engine.
+"""Wall-clock benchmark: the three-way engine race, seed vs python vs numpy.
 
 The seed fault simulator (64-bit words, name-keyed dicts, eager cone
 extraction, no compilation) is embedded below *verbatim in structure* so the
 comparison is against the actual pre-optimization engine, not a strawman.
-The benchmark asserts:
+The benchmark races three generations of the inner loop over the full
+collapsed stuck-at universe and asserts:
 
-* the wide-word compiled engine (single process) produces **bit-exact**
-  results and is at least **3x faster** on the c880-class benchmark over the
-  full collapsed stuck-at universe;
-* the multi-core engine produces results identical to the serial engine.
+* the python wide-word compiled engine is **bit-exact** against the seed
+  and at least **3x faster** on the c880-class benchmark;
+* the numpy uint64 bitslice engine is **bit-exact** against both and at
+  least **3x faster again** than the python wide-word engine;
+* the multi-core engine produces results identical to the serial engine,
+  and — run at its *default* work crossover — correctly declines the pool
+  for this workload (the pool only pays off past the calibrated
+  fault x pattern crossover; see ``repro.simulation.engines``).
 
-Results are written to ``BENCH_fault_sim.json`` at the repo root.
+Results (full trajectory, per-engine seconds and patterns/sec) are written
+to ``BENCH_fault_sim.json`` at the repo root and gated in CI by
+``obs check-bench``.
 
 Modes
 -----
 Full mode (default) runs c880.  Quick mode — ``FAULT_SIM_BENCH_QUICK=1`` —
-runs c432 with fewer patterns and skips the speedup floor (CI smoke: shared
-runners make wall-clock ratios flaky); it still checks bit-exactness and
-serial/parallel equality and still writes the JSON artifact.
+runs c432 with fewer patterns and skips the speedup floors (CI smoke:
+shared runners make wall-clock ratios flaky); it still checks bit-exactness
+and serial/parallel equality and still writes the JSON artifact.
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ from repro.circuit.library import ALL_ONES_64, evaluate_gate_packed
 from repro.circuit.netlist import Circuit, Gate
 from repro.simulation import (
     FaultSimulator,
+    NumpyFaultSimulator,
     ParallelFaultSimulator,
     StuckAtFault,
     collapse_faults,
@@ -191,7 +199,7 @@ def _timed(fn):
     return result, time.perf_counter() - start
 
 
-def test_wide_word_engine_speedup_vs_seed():
+def test_engine_race_seed_vs_python_vs_numpy():
     benchmark = "c432" if QUICK else "c880"
     n_patterns = 256 if QUICK else 1024
     circuit = load_benchmark(benchmark)
@@ -202,8 +210,8 @@ def test_wide_word_engine_speedup_vs_seed():
 
     # Full-universe run: every fault against every pattern, no dropping —
     # the exact n-detection telemetry workload.  Construction is inside the
-    # timed region: the seed engine's eager per-net cone extraction is one
-    # of the costs the compiled engine's lazy memoization removes.
+    # timed region for every engine: the seed engine's eager per-net cone
+    # extraction and the compiled engines' compilation are real costs.
     def run_seed():
         sim = SeedFaultSimulator(circuit)
         return sim.run(patterns, faults, drop_detected=False)
@@ -216,25 +224,61 @@ def test_wide_word_engine_speedup_vs_seed():
 
     wide_result, wide_seconds = _timed(run_wide)
 
-    # Bit-exact against the seed engine, detection counts included.
+    def run_numpy():
+        sim = NumpyFaultSimulator(circuit)  # default bitslice width
+        return sim.run(patterns, faults=faults, drop_detected=False)
+
+    numpy_result, numpy_seconds = _timed(run_numpy)
+
+    # Bit-exact across all three generations, detection counts included.
     assert wide_result.first_detection == seed_first
     assert wide_result.detection_counts == seed_counts
+    assert numpy_result.first_detection == seed_first
+    assert numpy_result.detection_counts == seed_counts
 
     # Fault dropping changes only how much work is skipped, never the
     # first-detection indices.
     wide = FaultSimulator(circuit)
-    dropped = wide.run(patterns, faults=faults)
-    assert dropped.first_detection == seed_first
+    assert wide.run(patterns, faults=faults).first_detection == seed_first
+    numpy_sim = NumpyFaultSimulator(circuit)
+    assert (
+        numpy_sim.run(patterns, faults=faults).first_detection == seed_first
+    )
 
-    parallel = ParallelFaultSimulator(circuit, max_workers=2, crossover=0)
+    # The multi-core engine at its *default* crossover: this workload
+    # (n_faults x n_patterns) sits below the calibrated breakeven, so the
+    # pool must decline and serial timing must win — the regression the
+    # crossover recalibration fixed.
+    parallel = ParallelFaultSimulator(circuit, max_workers=2, engine="auto")
     parallel_result, parallel_seconds = _timed(
         lambda: parallel.run(patterns, faults=faults, drop_detected=False)
     )
-    assert parallel.last_engine == "parallel"
+    work = len(faults) * n_patterns
+    expected_path = "serial" if work < parallel.crossover else "parallel"
+    assert parallel.last_engine == expected_path
     assert parallel_result.first_detection == seed_first
     assert parallel_result.detection_counts == seed_counts
 
+    # Forced fan-out stays bit-exact (untimed: with the pool overhead below
+    # the crossover this measures process start-up, not simulation).
+    forced = ParallelFaultSimulator(
+        circuit, max_workers=2, crossover=0, engine="auto"
+    )
+    forced_result = forced.run(patterns, faults=faults, drop_detected=False)
+    assert forced.last_engine == "parallel"
+    assert forced_result.first_detection == seed_first
+    assert forced_result.detection_counts == seed_counts
+
+    def _pps(seconds):
+        return round(n_patterns / seconds, 1) if seconds > 0 else None
+
     speedup = seed_seconds / wide_seconds if wide_seconds > 0 else float("inf")
+    numpy_speedup = (
+        seed_seconds / numpy_seconds if numpy_seconds > 0 else float("inf")
+    )
+    numpy_vs_wide = (
+        wide_seconds / numpy_seconds if numpy_seconds > 0 else float("inf")
+    )
     parallel_speedup = (
         seed_seconds / parallel_seconds if parallel_seconds > 0 else float("inf")
     )
@@ -243,14 +287,28 @@ def test_wide_word_engine_speedup_vs_seed():
         "mode": "quick" if QUICK else "full",
         "n_patterns": n_patterns,
         "n_faults": len(faults),
-        "seed_engine": {"word_width": 64, "seconds": round(seed_seconds, 4)},
+        "seed_engine": {
+            "word_width": 64,
+            "seconds": round(seed_seconds, 4),
+            "patterns_per_second": _pps(seed_seconds),
+        },
         "wide_engine": {
             "word_width": wide.width,
             "seconds": round(wide_seconds, 4),
             "speedup_vs_seed": round(speedup, 2),
+            "patterns_per_second": _pps(wide_seconds),
+        },
+        "numpy_engine": {
+            "word_width": numpy_sim.width,
+            "lane_batch": numpy_sim.lane_batch,
+            "seconds": round(numpy_seconds, 4),
+            "speedup_vs_seed": round(numpy_speedup, 2),
+            "speedup_vs_wide": round(numpy_vs_wide, 2),
+            "patterns_per_second": _pps(numpy_seconds),
         },
         "parallel_engine": {
             **parallel.engine_info(),
+            "chosen_path": parallel.last_engine,
             "seconds": round(parallel_seconds, 4),
             "speedup_vs_seed": round(parallel_speedup, 2),
         },
@@ -262,20 +320,28 @@ def test_wide_word_engine_speedup_vs_seed():
             f"wide-word engine speedup {speedup:.2f}x < 3x "
             f"(seed {seed_seconds:.3f}s, wide {wide_seconds:.3f}s)"
         )
+        assert numpy_vs_wide >= 3.0, (
+            f"numpy bitslice speedup {numpy_vs_wide:.2f}x < 3x vs python "
+            f"wide-word (wide {wide_seconds:.3f}s, numpy {numpy_seconds:.3f}s)"
+        )
 
 
 def test_parallel_matches_serial_quick():
-    """CI smoke: the pool path is bit-exact vs serial on a small workload."""
+    """CI smoke: the pool path is bit-exact vs serial for both engines."""
     circuit = load_benchmark("c432")
     faults = collapse_faults(circuit)
     patterns = random_patterns(len(circuit.primary_inputs), 192, seed=7)
 
     serial = FaultSimulator(circuit).run(patterns, faults=faults)
-    pooled_sim = ParallelFaultSimulator(circuit, max_workers=2, crossover=0)
-    pooled = pooled_sim.run(patterns, faults=faults)
+    for engine in ("python", "numpy"):
+        pooled_sim = ParallelFaultSimulator(
+            circuit, width=256, max_workers=2, crossover=0, engine=engine
+        )
+        pooled = pooled_sim.run(patterns, faults=faults)
 
-    assert pooled_sim.last_engine == "parallel"
-    assert pooled.first_detection == serial.first_detection
-    assert pooled.detection_counts == serial.detection_counts
-    assert pooled.n_patterns == serial.n_patterns
-    assert pooled.coverage == serial.coverage
+        assert pooled_sim.last_engine == "parallel"
+        assert pooled_sim.engine_info()["kind"] == engine
+        assert pooled.first_detection == serial.first_detection
+        assert pooled.detection_counts == serial.detection_counts
+        assert pooled.n_patterns == serial.n_patterns
+        assert pooled.coverage == serial.coverage

@@ -62,6 +62,7 @@ from repro.experiments import (
     run_experiment,
 )
 from repro.resilience import CheckpointError
+from repro.simulation import engines
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -102,6 +103,17 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "cap on random vectors before the PODEM top-off "
             f"(default: {ExperimentConfig.max_random_patterns})"
+        ),
+    )
+    parser.add_argument(
+        "--engine",
+        default="auto",
+        choices=list(engines.ENGINE_NAMES),
+        help=(
+            "fault-simulation engine: 'python' wide-word reference, "
+            "'numpy' uint64 bitslice kernel, or 'auto' to pick numpy "
+            "when the platform preflight passes (default: auto; the "
+            "choice and its reason are recorded in the run manifest)"
         ),
     )
     parser.add_argument(
@@ -334,6 +346,17 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.engine == "numpy":
+        # Fail the explicit request up front with one line instead of a
+        # traceback mid-pipeline; ``auto`` degrades to python silently (the
+        # manifest records the reason).
+        ok, reason = engines.numpy_preflight()
+        if not ok:
+            print(
+                f"error: --engine numpy unavailable: {reason}",
+                file=sys.stderr,
+            )
+            return 2
 
     if args.trace:
         # Fail fast on an unwritable sink rather than after a full run.
@@ -387,6 +410,7 @@ def main(argv: list[str] | None = None) -> int:
             detection=args.technique,
             seed=args.seed,
             max_random_patterns=args.max_random_patterns,
+            engine=args.engine,
         )
     except ValueError as exc:
         print(f"error: invalid configuration: {exc}", file=sys.stderr)

@@ -45,6 +45,7 @@ from repro.obs.events import CheckpointEvent, StageEvent
 from repro.resilience import chaos
 from repro.resilience.checkpoint import CheckpointStore
 from repro.resilience.errors import CheckpointCorruptError
+from repro.simulation.engines import ENGINE_NAMES
 from repro.simulation.fault_sim import FaultSimResult
 from repro.simulation.faults import StuckAtFault, collapse_faults
 from repro.simulation.parallel import ParallelFaultSimulator
@@ -77,6 +78,12 @@ class ExperimentConfig:
     #: machine CPU count; the engine still runs serially below its
     #: work crossover).
     fault_sim_workers: int | None = None
+    #: Fault-simulation engine for the stuck-at stage: "python" (wide-word
+    #: reference), "numpy" (uint64 bitslice kernel) or "auto" (default:
+    #: numpy when its platform preflight passes, recorded in the manifest).
+    #: Engines are bit-exact against each other; this only moves wall-clock
+    #: time.  See :mod:`repro.simulation.engines`.
+    engine: str = "auto"
     #: When True (default), the static-analysis pass runs before ATPG:
     #: provably-untestable faults are excluded from the coverage denominator
     #: up front (alongside PODEM-proven redundancies) and SCOAP measures are
@@ -109,6 +116,20 @@ class ExperimentConfig:
             raise ValueError(
                 f"fault_sim_workers must be >= 1, got {self.fault_sim_workers}"
             )
+        if self.engine not in ENGINE_NAMES:
+            known = ", ".join(ENGINE_NAMES)
+            raise ValueError(
+                f"engine must be one of {known}; got {self.engine!r}"
+            )
+        if (
+            self.engine == "numpy"
+            and self.word_width is not None
+            and (self.word_width < 64 or self.word_width % 64)
+        ):
+            raise ValueError(
+                "engine 'numpy' needs word_width to be a positive multiple "
+                f"of 64 (whole uint64 words), got {self.word_width}"
+            )
 
     def __hash__(self) -> int:  # DefectStatistics carries dicts
         stats_key = (
@@ -130,6 +151,7 @@ class ExperimentConfig:
                 self.deterministic_topoff,
                 self.word_width,
                 self.fault_sim_workers,
+                self.engine,
                 self.static_analysis,
             )
         )
@@ -439,16 +461,12 @@ def _run_pipeline(
 
         def compute_stuck() -> dict[str, object]:
             with obs.span("pipeline.stuck_fault_sim", n_patterns=len(patterns)):
-                if config.word_width is None:
-                    stuck_sim = ParallelFaultSimulator(
-                        circuit, max_workers=config.fault_sim_workers
-                    )
-                else:
-                    stuck_sim = ParallelFaultSimulator(
-                        circuit,
-                        width=config.word_width,
-                        max_workers=config.fault_sim_workers,
-                    )
+                stuck_sim = ParallelFaultSimulator(
+                    circuit,
+                    width=config.word_width,
+                    max_workers=config.fault_sim_workers,
+                    engine=config.engine,
+                )
                 result = stuck_sim.run(patterns, faults=testable)
             return {"result": result, "engine": stuck_sim.engine_info()}
 

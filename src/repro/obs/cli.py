@@ -139,6 +139,10 @@ def build_obs_parser() -> argparse.ArgumentParser:
 def _manifest_row(index: int, source: str, manifest: RunManifest) -> list[str]:
     engine = manifest.engine or {}
     engine_label = str(engine.get("engine", "?"))
+    # "kind" (python/numpy) appeared with the engine registry; manifests
+    # recorded before it simply show the serial/parallel mode alone.
+    if engine.get("kind"):
+        engine_label += f"/{engine['kind']}"
     if engine.get("workers"):
         engine_label += f"x{engine['workers']}"
     if engine.get("degraded"):
@@ -179,6 +183,7 @@ def _manifest_json_row(
         "git": manifest.git,
         "cache": manifest.cache,
         "engine": engine.get("engine"),
+        "engine_kind": engine.get("kind"),
         "workers": engine.get("workers"),
         "degraded": bool(engine.get("degraded")),
         "theta_max": float(theta_max) if theta_max is not None else None,

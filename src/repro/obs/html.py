@@ -413,6 +413,34 @@ def _walk_spans(record: dict, depth: int = 0):
             yield from _walk_spans(child, depth + 1)
 
 
+def _engine_kind(manifest: "RunManifest") -> str | None:
+    """Engine kind (python/numpy) of a run, None for pre-registry manifests.
+
+    The ``kind`` field appeared with the engine registry; histories recorded
+    before it carry only the serial/parallel mode, and this returns None so
+    callers can degrade to an unlabelled rendering instead of guessing.
+    """
+    engine = manifest.engine if isinstance(manifest.engine, dict) else {}
+    kind = engine.get("kind")
+    return str(kind) if kind else None
+
+
+def _engine_mix_caption(manifests: Sequence["RunManifest"]) -> str:
+    """Summarise which engine kinds produced a history, oldest schema last."""
+    counts: dict[str, int] = {}
+    for manifest in manifests:
+        kind = _engine_kind(manifest) or "pre-engine-schema"
+        counts[kind] = counts.get(kind, 0) + 1
+    if not counts or set(counts) == {"pre-engine-schema"}:
+        return ""
+    ordered = sorted(
+        counts.items(), key=lambda kv: (kv[0] == "pre-engine-schema", kv[0])
+    )
+    return "engines: " + ", ".join(
+        f"{kind} ×{count}" for kind, count in ordered
+    )
+
+
 # ---------------------------------------------------------------------------
 # Panels
 # ---------------------------------------------------------------------------
@@ -473,6 +501,9 @@ def _trend_panel(manifests: Sequence["RunManifest"]) -> str:
         f"{len(manifests)} recorded run(s); x-axis is the run index in "
         "history order."
     )
+    mix = _engine_mix_caption(manifests)
+    if mix:
+        caption += f" {mix}."
     return _panel("panel-trends", "Run history", grid, caption)
 
 
@@ -805,15 +836,21 @@ def _attribution_panel(manifests: Sequence["RunManifest"]) -> str:
             "<thead><tr><th>stage</th><th>peak</th></tr></thead>"
             f"<tbody>{rows_html}</tbody></table>"
         )
-    caption = ""
+    kind = _engine_kind(manifest)
+    captions = [
+        f"fault-sim engine: {kind}"
+        if kind
+        else "fault-sim engine: not recorded (pre-engine-registry run)"
+    ]
     reconcile = snap.get("reconcile", {})
     if isinstance(reconcile, dict) and reconcile:
-        caption = (
+        captions.append(
             f"reconciliation: {float(reconcile.get('attributed_wall_s', 0)):.3f}s "
             f"attributed of {float(reconcile.get('pipeline_wall_s', 0)):.3f}s "
             f"pipeline wall "
             f"({100.0 * float(reconcile.get('coverage', 0)):.1f}% covered)"
         )
+    caption = "; ".join(captions)
     return _panel(
         "panel-attribution", "Where the time goes", "".join(parts), caption
     )

@@ -49,7 +49,7 @@ from repro.simulation.logic_sim import (
     pack_patterns,
 )
 
-__all__ = ["FaultSimResult", "FaultSimulator"]
+__all__ = ["ConeIndex", "FaultSimResult", "FaultSimulator"]
 
 
 @dataclass
@@ -150,6 +150,65 @@ class _Cone:
     po_ids: list[int]          # primary-output ids inside the cone
 
 
+class ConeIndex:
+    """Lazy, memoised output-cone extraction over a compiled logic program.
+
+    Both fault-simulation engines (the wide-word python reference and the
+    numpy bitslice kernel) restrict faulty-machine work to output cones and
+    order faults cheapest-cone-first; this index owns the shared pieces —
+    reader adjacency over dense net ids, the per-net cone BFS memo, and the
+    gate-name / driver-gate lookup tables.
+    """
+
+    def __init__(self, logic: LogicSimulator):
+        self.logic = logic
+        # Reader adjacency over net ids: net id -> compiled gate indices
+        # reading it.  O(edges) once; cone extraction BFS runs over this.
+        readers: list[list[int]] = [[] for _ in range(logic.n_nets)]
+        for gi, ids in enumerate(logic.in_ids):
+            for nid in ids:
+                readers[nid].append(gi)
+        self.readers = readers
+        self.gate_index = {gate.name: i for i, gate in enumerate(logic.order)}
+        self.driver_gate: dict[int, int] = {
+            out: i for i, out in enumerate(logic.out_ids)
+        }
+        self._cones: dict[int, _Cone] = {}
+
+    def cone(self, nid: int) -> _Cone:
+        """The (memoised) compiled output cone of net id ``nid``."""
+        cone = self._cones.get(nid)
+        if cone is not None:
+            return cone
+        logic = self.logic
+        readers = self.readers
+        out_ids = logic.out_ids
+        seen = {nid}
+        gates: set[int] = set()
+        stack = [nid]
+        while stack:
+            current = stack.pop()
+            for gi in readers[current]:
+                if gi not in gates:
+                    gates.add(gi)
+                    out = out_ids[gi]
+                    if out not in seen:
+                        seen.add(out)
+                        stack.append(out)
+        net_ids = frozenset(seen)
+        cone = _Cone(
+            gate_idx=sorted(gates),
+            net_ids=net_ids,
+            po_ids=[po for po in logic.po_ids if po in net_ids],
+        )
+        self._cones[nid] = cone
+        return cone
+
+    def fault_cone(self, fault: StuckAtFault) -> _Cone:
+        """The output cone of ``fault``'s net."""
+        return self.cone(self.logic.net_id[fault.net])
+
+
 class _Program:
     """One fault's compiled resimulation schedule.
 
@@ -186,26 +245,17 @@ class FaultSimulator:
         fewer interpreted passes.
     """
 
+    #: Engine-registry kind (see :mod:`repro.simulation.engines`).
+    kind = "python"
+
     def __init__(self, circuit: Circuit, width: int = DEFAULT_WORD_WIDTH):
         self.circuit = circuit
         self.width = width
         self.logic = LogicSimulator(circuit, width=width)
         self.mask = self.logic.mask
-
-        logic = self.logic
-        # Reader adjacency over net ids: net id -> compiled gate indices
-        # reading it.  O(edges) once; cone extraction BFS runs over this.
-        readers: list[list[int]] = [[] for _ in range(logic.n_nets)]
-        for gi, ids in enumerate(logic.in_ids):
-            for nid in ids:
-                readers[nid].append(gi)
-        self._readers = readers
-        self._gate_index = {gate.name: i for i, gate in enumerate(logic.order)}
-        self._driver_gate: dict[int, int] = {
-            out: i for i, out in enumerate(logic.out_ids)
-        }
+        self.cones = ConeIndex(self.logic)
+        self._gate_index = self.cones.gate_index
         # Lazy, memoised compilation state.
-        self._cones: dict[int, _Cone] = {}
         self._programs: dict[StuckAtFault, _Program] = {}
         self._multi_programs: dict[tuple[StuckAtFault, ...], _Program] = {}
         self._good_memo: tuple[Mapping[str, int], list[int]] | None = None
@@ -215,32 +265,7 @@ class FaultSimulator:
     # ------------------------------------------------------------------
     def _cone(self, nid: int) -> _Cone:
         """The (memoised) compiled output cone of net id ``nid``."""
-        cone = self._cones.get(nid)
-        if cone is not None:
-            return cone
-        logic = self.logic
-        readers = self._readers
-        out_ids = logic.out_ids
-        seen = {nid}
-        gates: set[int] = set()
-        stack = [nid]
-        while stack:
-            current = stack.pop()
-            for gi in readers[current]:
-                if gi not in gates:
-                    gates.add(gi)
-                    out = out_ids[gi]
-                    if out not in seen:
-                        seen.add(out)
-                        stack.append(out)
-        net_ids = frozenset(seen)
-        cone = _Cone(
-            gate_idx=sorted(gates),
-            net_ids=net_ids,
-            po_ids=[po for po in logic.po_ids if po in net_ids],
-        )
-        self._cones[nid] = cone
-        return cone
+        return self.cones.cone(nid)
 
     def cone_size(self, fault: StuckAtFault) -> int:
         """Number of gates resimulated per group for ``fault``."""
@@ -487,6 +512,17 @@ class FaultSimulator:
         return {names[po]: diffs.get(po, 0) for po in program.po_ids}
 
     # ------------------------------------------------------------------
+    def pack(self, patterns: Sequence[Sequence[int]]) -> list[list[int]]:
+        """Pack ``patterns`` into this engine's native packed-group form.
+
+        Part of the engine protocol (see :mod:`repro.simulation.engines`):
+        the parallel fan-out packs once per worker and replays fault chunks
+        against the packed form via :meth:`run_packed`.
+        """
+        return pack_patterns(
+            patterns, len(self.circuit.primary_inputs), self.width
+        )
+
     def run(
         self,
         patterns: Sequence[Sequence[int]],
@@ -499,9 +535,7 @@ class FaultSimulator:
         active list after its first detection; first-detection indices are
         recorded either way.
         """
-        groups = pack_patterns(
-            patterns, len(self.circuit.primary_inputs), self.width
-        )
+        groups = self.pack(patterns)
         return self.run_packed(groups, len(patterns), faults, drop_detected)
 
     def run_packed(

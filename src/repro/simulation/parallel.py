@@ -45,7 +45,6 @@ import warnings
 from typing import Callable, Sequence
 
 from repro import obs
-from repro.circuit.library import DEFAULT_WORD_WIDTH
 from repro.circuit.netlist import Circuit
 from repro.obs import attribution
 from repro.obs.events import ProgressEvent, RetryEvent
@@ -53,15 +52,22 @@ from repro.obs.trace import Span
 from repro.resilience import chaos
 from repro.resilience.errors import ChunkFailure, FailureKind, classify_failure
 from repro.resilience.retry import DEFAULT_RETRY_POLICY, RetryPolicy
+from repro.simulation.engines import (
+    create_engine,
+    default_crossover,
+    default_width,
+    resolve_engine,
+)
 from repro.simulation.fault_sim import FaultSimResult, FaultSimulator
 from repro.simulation.faults import StuckAtFault, full_fault_universe
-from repro.simulation.logic_sim import pack_patterns
 
 __all__ = ["ParallelFaultSimulator", "DEFAULT_CROSSOVER", "RUN_SCOPED_COUNTERS"]
 
-#: Below this many fault x pattern evaluations the pool start-up and pickling
-#: overhead outweighs the fan-out; the serial engine runs instead.
-DEFAULT_CROSSOVER = 2_000_000
+#: Serial/parallel work crossover (``n_faults x n_patterns``) for the python
+#: engine; per-engine defaults live in
+#: :func:`repro.simulation.engines.default_crossover` (the numpy kernel's
+#: serial throughput is much higher, so its crossover sits far later).
+DEFAULT_CROSSOVER = default_crossover("python")
 
 #: Counters with *per-run* semantics: every chunk's engine counts the whole
 #: applied sequence, so summing them across chunks would overstate the run.
@@ -69,9 +75,11 @@ DEFAULT_CROSSOVER = 2_000_000
 #: else in a worker's counter delta is chunk-additive and merges by summation.
 RUN_SCOPED_COUNTERS = frozenset({"fault_sim.patterns_applied"})
 
-# Worker-process state, installed once per worker by _init_worker.
-_WORKER_SIM: FaultSimulator | None = None
-_WORKER_GROUPS: list[list[int]] | None = None
+# Worker-process state, installed once per worker by _init_worker.  The
+# simulator is whichever engine the parent resolved (python or numpy) and
+# the packed groups are in that engine's native packed form.
+_WORKER_SIM: FaultSimulator | object | None = None
+_WORKER_GROUPS: object | None = None
 _WORKER_N_PATTERNS: int = 0
 
 #: The worker-telemetry envelope riding along with each chunk result:
@@ -86,8 +94,12 @@ def _init_worker(
     plan: chaos.ChaosPlan | None = None,
     collect_telemetry: bool = False,
     collect_attribution: bool = False,
+    engine_kind: str = "python",
 ) -> None:
     """Pool initializer: compile the engine and pack the patterns once.
+
+    The parent ships the *resolved* engine kind (never ``"auto"``), so every
+    worker builds exactly the engine the parent's serial path would use.
 
     When the parent is collecting (``--profile``/``--trace``), the worker
     installs its own collector + registry so each chunk can ship its span
@@ -102,10 +114,8 @@ def _init_worker(
         obs.enable()
     if collect_attribution:
         attribution.enable()
-    _WORKER_SIM = FaultSimulator(circuit, width=width)
-    _WORKER_GROUPS = pack_patterns(
-        patterns, len(circuit.primary_inputs), width
-    )
+    _WORKER_SIM = create_engine(engine_kind, circuit, width=width)
+    _WORKER_GROUPS = _WORKER_SIM.pack(patterns)
     _WORKER_N_PATTERNS = len(patterns)
 
 
@@ -172,12 +182,16 @@ class ParallelFaultSimulator:
     circuit:
         The combinational circuit under test.
     width:
-        Packed-word width forwarded to every worker's engine.
+        Packed-word width forwarded to every worker's engine; None (default)
+        uses the resolved engine's own default
+        (:func:`repro.simulation.engines.default_width`).
     max_workers:
         Worker process count; defaults to the machine's CPU count.
     crossover:
         Minimum ``n_faults * n_patterns`` before the pool is worth starting;
-        smaller jobs run serially in-process.
+        smaller jobs run serially in-process.  None (default) uses the
+        resolved engine's calibrated crossover
+        (:func:`repro.simulation.engines.default_crossover`).
     retry:
         Bounded-retry policy for transient chunk failures (default:
         :data:`~repro.resilience.retry.DEFAULT_RETRY_POLICY` — one fresh-pool
@@ -186,24 +200,38 @@ class ParallelFaultSimulator:
         Deadline in seconds for a round of chunks; chunks not finished by
         then are treated as transient failures (the hung pool is abandoned).
         None (default) disables the deadline.
+    engine:
+        Engine registry name — ``"python"`` (default), ``"numpy"`` or
+        ``"auto"`` (see :mod:`repro.simulation.engines`).  An explicit
+        ``"numpy"`` request raises
+        :class:`~repro.simulation.engines.EngineUnavailableError` when the
+        platform preflight fails; ``"auto"`` degrades to python and records
+        why.
     """
 
     def __init__(
         self,
         circuit: Circuit,
-        width: int = DEFAULT_WORD_WIDTH,
+        width: int | None = None,
         max_workers: int | None = None,
-        crossover: int = DEFAULT_CROSSOVER,
+        crossover: int | None = None,
         retry: RetryPolicy | None = None,
         chunk_timeout: float | None = None,
+        engine: str = "python",
     ):
         self.circuit = circuit
-        self.width = width
+        self.requested_engine = engine
+        kind, reason = resolve_engine(engine, width)
+        self.engine_kind = kind
+        self.engine_reason = reason
+        self.width = default_width(kind) if width is None else width
         self.max_workers = max_workers or os.cpu_count() or 1
-        self.crossover = crossover
+        self.crossover = (
+            default_crossover(kind) if crossover is None else crossover
+        )
         self.retry = retry or DEFAULT_RETRY_POLICY
         self.chunk_timeout = chunk_timeout
-        self.serial = FaultSimulator(circuit, width=width)
+        self.serial = create_engine(kind, circuit, width=self.width)
         #: Backoff sleeper; tests substitute a recorder.
         self._sleep: Callable[[float], None] = time.sleep
         #: Engine used by the last :meth:`run` call: "serial" or "parallel".
@@ -223,11 +251,22 @@ class ParallelFaultSimulator:
         self.last_failures: list[ChunkFailure] = []
 
     def engine_info(self) -> dict[str, object]:
-        """Engine descriptor of the last run, for run manifests."""
+        """Engine descriptor of the last run, for run manifests.
+
+        ``kind`` is the resolved registry engine (python/numpy),
+        ``requested`` the original ``engine=`` request and ``reason`` the
+        registry's resolution note — an ``auto`` run always records which
+        kernel it picked and why.  ``engine`` stays the serial/parallel
+        execution mode for backward manifest compatibility.
+        """
         return {
             "engine": self.last_engine,
+            "kind": self.engine_kind,
+            "requested": self.requested_engine,
+            "reason": self.engine_reason,
             "word_width": self.width,
             "workers": self.last_workers,
+            "crossover": self.crossover,
             "degraded": self.last_degraded_reason is not None,
             "degraded_reason": self.last_degraded_reason,
             "chunk_retries": self.last_chunk_retries,
@@ -342,11 +381,7 @@ class ParallelFaultSimulator:
                 with obs.span(
                     "fault_sim.serial_salvage", n_chunks=len(serial_pending)
                 ):
-                    groups = pack_patterns(
-                        pattern_rows,
-                        len(self.circuit.primary_inputs),
-                        self.width,
-                    )
+                    groups = self.serial.pack(pattern_rows)
                     for cid in sorted(serial_pending):
                         chunk = serial_pending[cid]
                         chunk_first, chunk_counts = (
@@ -491,6 +526,7 @@ class ParallelFaultSimulator:
                     plan,
                     obs.is_enabled(),
                     attribution.is_enabled(),
+                    self.engine_kind,
                 ),
             )
         except Exception as exc:  # pool never started: every chunk fails

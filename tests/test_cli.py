@@ -303,3 +303,39 @@ def test_cli_trace_writes_manifest(capsys, tmp_path):
     manifests = read_manifests(str(trace))
     assert len(manifests) == 2
     assert manifests[1].cache == "hit"
+
+
+def test_cli_engine_numpy_preflight_failure_exits_2(capsys, monkeypatch):
+    from repro.simulation import engines
+
+    monkeypatch.setattr(
+        engines, "numpy_preflight", lambda: (False, "probe forced to fail")
+    )
+    code = main(["c17", "--engine", "numpy"])
+    assert code == 2
+    err = capsys.readouterr().err
+    # Exactly one line, naming the reason — no traceback, no partial run.
+    assert err.count("\n") == 1
+    assert "probe forced to fail" in err
+    assert "--engine numpy" in err
+
+
+def test_cli_engine_auto_records_choice_in_manifest(capsys, tmp_path):
+    from repro.obs.manifest import read_manifests
+
+    trace = tmp_path / "runs.jsonl"
+    code = main(["c17", "--seed", "424242", "--engine", "auto", "--trace", str(trace)])
+    assert code == 0
+    capsys.readouterr()
+    (manifest,) = read_manifests(str(trace))
+    assert manifest.config["engine"] == "auto"
+    engine = manifest.engine
+    assert engine["requested"] == "auto"
+    assert engine["kind"] in ("python", "numpy")
+    assert str(engine["reason"]).startswith("auto: ")
+    assert engine["crossover"] > 0
+
+
+def test_cli_engine_rejects_unknown_name(capsys):
+    with pytest.raises(SystemExit):
+        main(["c17", "--engine", "fortran"])

@@ -159,6 +159,35 @@ def test_report_on_old_schema_manifest_degrades_gracefully():
     assert "no spans" in html
 
 
+def test_report_labels_runs_by_engine_kind():
+    new_style = _manifest(
+        5, engine={"engine": "serial", "kind": "numpy", "workers": 1}
+    )
+    mixed = [
+        _manifest(4, engine={"engine": "serial", "kind": "python", "workers": 1}),
+        new_style,
+    ]
+    html = build_report(mixed)
+    _assert_self_contained(html)
+    # Trend panel summarises the engine mix of the history; the
+    # attribution panel names the kind of the run it renders.
+    assert "engines: numpy" in html
+    assert "python" in html
+    assert "fault-sim engine: numpy" in html
+
+
+def test_report_on_pre_engine_kind_manifests_degrades_gracefully():
+    # Histories recorded before the engine registry carry no "kind": the
+    # panels render unlabelled rather than guessing (or crashing).
+    old = [_manifest(6), _manifest(7, engine={})]
+    html = build_report(old)
+    for panel_id in PANEL_IDS:
+        assert f'id="{panel_id}"' in html
+    _assert_self_contained(html)
+    assert "engines:" not in html
+    assert "pre-engine-registry" in html
+
+
 def test_report_with_no_manifests_renders_placeholders():
     html = build_report([])
     for panel_id in PANEL_IDS:
