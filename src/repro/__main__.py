@@ -189,6 +189,11 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: Version of the ``analyze --json`` / ``--certificates`` payload shape.
+#: Bumped when keys are renamed or removed; additions keep the version.
+_ANALYZE_SCHEMA_VERSION = 2
+
+
 def build_analyze_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro analyze",
@@ -204,6 +209,27 @@ def build_analyze_parser() -> argparse.ArgumentParser:
         "--quick",
         action="store_true",
         help="skip the implication-based untestable-fault screen",
+    )
+    parser.add_argument(
+        "--prove",
+        action="store_true",
+        help=(
+            "run the proof-carrying redundancy prover on top of the screen "
+            "(static + recursive learning; every verdict carries a "
+            "certificate re-verified by the independent checker)"
+        ),
+    )
+    parser.add_argument(
+        "--depth",
+        type=int,
+        default=2,
+        metavar="N",
+        help="recursive-learning depth bound for --prove (default: 2)",
+    )
+    parser.add_argument(
+        "--certificates",
+        metavar="FILE",
+        help="with --prove, write every checked certificate to FILE as JSON",
     )
     parser.add_argument(
         "--json",
@@ -236,12 +262,27 @@ def analyze_main(argv: list[str] | None = None) -> int:
         )
         return 2
 
+    if args.depth < 0:
+        print("error: --depth must be non-negative", file=sys.stderr)
+        return 2
+    if args.certificates and not args.prove:
+        print("error: --certificates requires --prove", file=sys.stderr)
+        return 2
+
     reports = []
+    certificates: dict[str, list[dict[str, object]]] = {}
     any_errors = False
     for name in names:
         circuit = load_benchmark(name)
-        result = analyze_circuit(circuit, quick=args.quick)
+        result = analyze_circuit(
+            circuit,
+            quick=args.quick,
+            prove=args.prove,
+            prover_depth=args.depth,
+        )
         reports.append(result.to_dict())
+        if result.prover is not None:
+            certificates[name] = list(result.prover.certificates)
         any_errors = any_errors or not result.ok
         print(result.lint.render_text())
         if result.scoap is not None:
@@ -263,10 +304,48 @@ def analyze_main(argv: list[str] | None = None) -> int:
                 print(f"    {fault}  [{reason}]")
             if n_flagged > 10:
                 print(f"    ... and {n_flagged - 10} more")
+        if result.prover is not None:
+            prover = result.prover
+            methods = ", ".join(
+                f"{m}={n}" for m, n in sorted(prover.by_method.items())
+            )
+            print(
+                f"  prover: {len(prover.proved)} of {prover.n_screened} "
+                f"faults proved untestable (depth {prover.depth}"
+                f"{', ' + methods if methods else ''}); "
+                f"{len(prover.certificates)} certificates checked, "
+                f"{prover.certs_failed} failed"
+            )
+
+    if args.certificates:
+        with open(args.certificates, "w", encoding="utf-8") as sink:
+            json.dump(
+                {
+                    "schema_version": _ANALYZE_SCHEMA_VERSION,
+                    "certificates": certificates,
+                },
+                sink,
+                indent=1,
+                sort_keys=True,
+            )
+            sink.write("\n")
+        n_certs = sum(len(c) for c in certificates.values())
+        print(f"{n_certs} certificates written to {args.certificates}")
 
     if args.json:
+        from repro.simulation import engines
+
+        preflight_ok, preflight_reason = engines.numpy_preflight()
+        payload = {
+            "schema_version": _ANALYZE_SCHEMA_VERSION,
+            "engine_preflight": {
+                "numpy": {"ok": preflight_ok, "reason": preflight_reason},
+                "names": sorted(engines.ENGINE_NAMES),
+            },
+            "circuits": reports,
+        }
         with open(args.json, "w", encoding="utf-8") as sink:
-            json.dump({"circuits": reports}, sink, indent=2, sort_keys=True)
+            json.dump(payload, sink, indent=2, sort_keys=True)
             sink.write("\n")
         print(f"report written to {args.json}")
 
@@ -274,6 +353,27 @@ def analyze_main(argv: list[str] | None = None) -> int:
         print("error: ERROR-severity lint findings present", file=sys.stderr)
         return 1
     return 0
+
+
+def _prover_summary(result) -> dict[str, object] | None:
+    """Redundancy-prover facts for the run manifest (None when it didn't run).
+
+    Alongside the proved counts this records the PODEM search statistics so
+    the manifest shows what the learned implications bought the ATPG stage.
+    """
+    analysis = result.analysis
+    if analysis is None or analysis.prover is None:
+        return None
+    prover = analysis.prover
+    return {
+        "n_proved": len(prover.proved),
+        "n_screened": prover.n_screened,
+        "depth": prover.depth,
+        "by_method": dict(prover.by_method),
+        "n_learned": prover.n_learned,
+        "certs_failed": prover.certs_failed,
+        "podem": dict(result.podem_stats),
+    }
 
 
 #: n-detection depths beyond this collapse into one ">= cap" bin.
@@ -559,6 +659,7 @@ def main(argv: list[str] | None = None) -> int:
                 "n_random": result.n_random,
                 "n_redundant": len(result.redundant_faults),
                 "n_untestable_static": len(result.static_untestable),
+                "prover": _prover_summary(result),
             },
         )
         n_records = manifest.write(args.trace)

@@ -8,6 +8,10 @@ alone:
 * :mod:`repro.analysis.scoap` — SCOAP CC0/CC1/CO testability measures.
 * :mod:`repro.analysis.implication` — direct-implication closure and
   fault-independent identification of provably-untestable stuck-at faults.
+* :mod:`repro.analysis.prover` — proof-carrying redundancy prover (static
+  learning, recursive learning, unique sensitization) whose verdicts carry
+  JSON certificates, each re-verified by the independent checker in
+  :mod:`repro.analysis.check`.
 * :mod:`repro.analysis.collapse` — dominance fault collapsing layered on the
   equivalence collapsing of :mod:`repro.simulation.faults`.
 
@@ -38,6 +42,13 @@ from repro.analysis.lint import (
     Severity,
     lint_circuit,
 )
+from repro.analysis.prover import (
+    ProverResult,
+    RedundancyProver,
+    netlist_hash,
+    prove_untestable,
+    static_learning,
+)
 from repro.analysis.scoap import UNOBSERVABLE, ScoapMeasures, compute_scoap
 from repro.circuit.netlist import Circuit
 from repro.simulation.faults import StuckAtFault, full_fault_universe
@@ -60,6 +71,12 @@ __all__ = [
     "UntestabilityReport",
     "find_untestable_faults",
     "propagate_constants",
+    # prover
+    "ProverResult",
+    "RedundancyProver",
+    "netlist_hash",
+    "prove_untestable",
+    "static_learning",
     # collapsing
     "DominanceResult",
     "dominance_collapse",
@@ -88,6 +105,7 @@ class AnalysisResult:
     lint: LintReport
     scoap: ScoapMeasures | None = None
     untestable: UntestabilityReport | None = None
+    prover: ProverResult | None = None
     _untestable_set: frozenset[StuckAtFault] = field(
         default=frozenset(), repr=False
     )
@@ -98,8 +116,12 @@ class AnalysisResult:
         return not self.lint.errors
 
     def untestable_faults(self) -> list[StuckAtFault]:
-        """Faults proved untestable (empty when screening did not run)."""
-        return list(self.untestable.untestable) if self.untestable else []
+        """Faults proved untestable (screen plus prover, input order)."""
+        screen = list(self.untestable.untestable) if self.untestable else []
+        if self.prover is None:
+            return screen
+        seen = set(screen)
+        return screen + [f for f in self.prover.proved if f not in seen]
 
     def screen(self, faults: list[StuckAtFault]) -> list[StuckAtFault]:
         """``faults`` minus the statically-proved-untestable ones."""
@@ -130,6 +152,8 @@ class AnalysisResult:
                 ],
                 "work": dict(self.untestable.work),
             }
+        if self.prover is not None:
+            out["prover"] = self.prover.to_dict()
         return out
 
 
@@ -137,6 +161,9 @@ def analyze_circuit(
     circuit: Circuit,
     faults: list[StuckAtFault] | None = None,
     quick: bool = False,
+    prove: bool = False,
+    prover_depth: int = 2,
+    prover_fault_budget: int | None = None,
 ) -> AnalysisResult:
     """Run the static-analysis passes over ``circuit``.
 
@@ -145,6 +172,15 @@ def analyze_circuit(
     reports ERROR findings.  ``quick=True`` also skips the implication
     screen — the most expensive pass — which is what CI's smoke run uses.
     ``faults`` limits the screened universe (default: the full universe).
+
+    ``prove=True`` additionally runs the proof-carrying redundancy prover
+    (sharing the screen's implication engine): static learning plus recursive
+    learning to ``prover_depth``, with every verdict certified and re-checked
+    by :mod:`repro.analysis.check`.  The proved set — a superset of the
+    screen by construction — feeds :meth:`AnalysisResult.screen`, and the
+    learned implications in ``result.prover.learned`` are ready to hand to
+    PODEM.  ``prover_fault_budget`` caps traced closures spent per fault in
+    the recursive stage (None for the module default).
     """
     with obs.span("analysis.lint", circuit=circuit.name):
         lint = lint_circuit(circuit)
@@ -166,4 +202,20 @@ def analyze_circuit(
         result.untestable = find_untestable_faults(circuit, universe, engine)
         obs.inc("analysis.untestable_faults", len(result.untestable.untestable))
     result._untestable_set = frozenset(result.untestable.untestable)
+
+    if prove:
+        with obs.span(
+            "analysis.prover", circuit=circuit.name, depth=prover_depth
+        ):
+            prover_kwargs: dict[str, int] = {}
+            if prover_fault_budget is not None:
+                prover_kwargs["fault_budget"] = prover_fault_budget
+            prover = RedundancyProver(
+                circuit, depth=prover_depth, engine=engine, **prover_kwargs
+            )
+            result.prover = prover.prove(universe)
+            obs.inc("analysis.proved_faults", len(result.prover.proved))
+        result._untestable_set = result._untestable_set | frozenset(
+            result.prover.proved
+        )
     return result

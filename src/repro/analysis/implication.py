@@ -191,6 +191,9 @@ class ImplicationEngine:
         self.stats: dict[str, int] = {"closures": 0, "steps": 0}
         self._unit_cache: dict[tuple[str, int], dict[str, int] | None] = {}
         self._obs_cache: dict[str, tuple[bool, frozenset[tuple[str, int]]]] = {}
+        self._obs_detail_cache: dict[
+            str, tuple[bool, tuple[tuple[str, str, int], ...]]
+        ] = {}
 
     # ------------------------------------------------------------------
     # Closure
@@ -338,14 +341,38 @@ class ImplicationEngine:
         cached = self._obs_cache.get(net)
         if cached is not None:
             return cached
+        reachable, details = self.observation_details(net)
+        result = (
+            reachable,
+            frozenset((side, nc) for _dom, side, nc in details),
+        )
+        self._obs_cache[net] = result
+        return result
+
+    def observation_details(
+        self, net: str
+    ) -> tuple[bool, tuple[tuple[str, str, int], ...]]:
+        """Like :meth:`observation_requirements`, keeping dominator provenance.
+
+        Returns ``(reachable, details)`` where each detail is
+        ``(dominator_net, side_net, non_controlling_value)`` — the shape the
+        prover's certificates need so the independent checker can re-verify
+        each dominator claim structurally.
+        """
+        cached = self._obs_detail_cache.get(net)
+        if cached is not None:
+            return cached
 
         cone, cone_order = self._cone_order(net)
         po_set = set(self.circuit.primary_outputs)
         cone_pos = [n for n in cone_order if n in po_set]
         if not cone_pos:
-            result = (False, frozenset())
-            self._obs_cache[net] = result
-            return result
+            detail_result: tuple[bool, tuple[tuple[str, str, int], ...]] = (
+                False,
+                (),
+            )
+            self._obs_detail_cache[net] = detail_result
+            return detail_result
 
         # Dominators of every source->PO path, by forward dataflow over the
         # cone: dom(n) = {n} | intersection of dom over in-cone predecessors.
@@ -366,8 +393,8 @@ class ImplicationEngine:
             common = dom[po] if common is None else common & dom[po]
         dominators = (common or frozenset()) - {net}
 
-        literals: set[tuple[str, int]] = set()
-        for d in dominators:
+        details: list[tuple[str, str, int]] = []
+        for d in sorted(dominators):
             gate = self.driver.get(d)
             if gate is None:
                 continue
@@ -376,10 +403,10 @@ class ImplicationEngine:
                 continue  # XOR family / NOT / BUF propagate unconditionally
             for side in gate.inputs:
                 if side not in cone:
-                    literals.add((side, nc))
-        result = (True, frozenset(literals))
-        self._obs_cache[net] = result
-        return result
+                    details.append((d, side, nc))
+        detail_result = (True, tuple(details))
+        self._obs_detail_cache[net] = detail_result
+        return detail_result
 
     def _cone_order(self, net: str) -> tuple[set[str], list[str]]:
         """Output cone of ``net`` and its members in topological order."""

@@ -14,7 +14,7 @@ with fault dropping.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Collection
+from typing import Collection, Mapping
 
 from repro import obs
 from repro.analysis.scoap import ScoapMeasures, compute_scoap
@@ -37,6 +37,11 @@ __all__ = [
 
 #: Three-valued signal levels; X is "unassigned / unknown".
 ZERO, ONE, X = 0, 1, 2
+
+#: Learned implications, as produced by ``repro.analysis.prover.static_learning``:
+#: antecedent ``(net, value)`` -> consequent literals, each a tautology of the
+#: fault-free circuit.
+LearnedImplications = Mapping[tuple[str, int], tuple[tuple[str, int], ...]]
 
 
 def _eval3(gate_type: GateType, values: list[int]) -> int:
@@ -111,6 +116,7 @@ class PodemAtpg:
         circuit: Circuit,
         backtrack_limit: int = 2000,
         scoap: ScoapMeasures | None = None,
+        learned: LearnedImplications | None = None,
     ):
         circuit.validate()
         self.circuit = circuit
@@ -123,8 +129,19 @@ class PodemAtpg:
             net: (scoap.cc0[net], scoap.cc1[net]) for net in scoap.cc0
         }
         self.backtrack_limit = backtrack_limit
+        self.learned: dict[tuple[str, int], tuple[tuple[str, int], ...]] = (
+            dict(learned) if learned else {}
+        )
+        #: Cumulative counts over all :meth:`generate` calls: decision points
+        #: failed early because learned implications pin the fault site to its
+        #: stuck value, and D-frontier gates pruned because a learned
+        #: implication pins a side input to the controlling value.
+        self.learned_conflicts = 0
+        self.learned_prunes = 0
         self._pi_index = {pi: i for i, pi in enumerate(circuit.primary_inputs)}
+        self._gate_by_name = {g.name: g for g in circuit.gates}
         self._support_cache: dict[str, tuple[str, ...]] = {}
+        self._cone_cache: dict[str, frozenset[str]] = {}
 
     # ------------------------------------------------------------------
     # Two-channel implication
@@ -226,16 +243,89 @@ class PodemAtpg:
                     stack.append(out)
         return False
 
+    # ------------------------------------------------------------------
+    # Learned-implication support
+    # ------------------------------------------------------------------
+    def _learned_pins(self, good: dict[str, int]) -> dict[str, int]:
+        """Good-channel values pinned by closing under learned implications.
+
+        Every learned implication is a tautology of the fault-free circuit,
+        so if ``net=v`` is determined in the good channel, every completion
+        of the current partial assignment also satisfies the implication's
+        consequents — and everything those consequents force through the
+        gates.  The returned map extends ``good`` to a fixpoint of learned
+        consequents and three-valued forward evaluation; entries that are X
+        in ``good`` but definite here are values the current assignment
+        forces in *every* completion, which the search can fail against.
+        """
+        pins = dict(good)
+        stack = [(n, v) for n, v in pins.items() if v != X]
+        while stack:
+            net, value = stack.pop()
+            for c_net, c_value in self.learned.get((net, value), ()):
+                if pins.get(c_net, X) == X:
+                    pins[c_net] = c_value
+                    stack.append((c_net, c_value))
+            for gate in self.fanout.get(net, []):
+                if pins[gate.output] != X:
+                    continue
+                out = _eval3(
+                    gate.gate_type, [pins[n] for n in gate.inputs]
+                )
+                if out != X:
+                    pins[gate.output] = out
+                    stack.append((gate.output, out))
+        return pins
+
+    def _effect_cone(self, source: str) -> frozenset[str]:
+        """Nets downstream of the fault effect's origin (inclusive)."""
+        cached = self._cone_cache.get(source)
+        if cached is None:
+            from repro.circuit.levelize import output_cone
+
+            cached = frozenset(output_cone(self.circuit, source))
+            self._cone_cache[source] = cached
+        return cached
+
+    def _prune_frontier(
+        self,
+        frontier: list[Gate],
+        good: dict[str, int],
+        pins: dict[str, int],
+        cone: frozenset[str],
+    ) -> list[Gate]:
+        """Drop frontier gates a learned pin provably blocks.
+
+        A gate cannot propagate the effect when a side input outside the
+        fault's output cone (so its faulty value always equals its good
+        value) is still X but pinned to the gate's controlling value: every
+        completion controls the gate identically in both channels.
+        """
+        kept = []
+        for gate in frontier:
+            controlling = _controlling_value(gate.gate_type)
+            blocked = controlling is not None and any(
+                good[n] == X and n not in cone and pins.get(n) == controlling
+                for n in gate.inputs
+            )
+            if blocked:
+                self.learned_prunes += 1
+            else:
+                kept.append(gate)
+        return kept
+
     def _objective(
         self,
         fault: StuckAtFault,
         good: dict[str, int],
         faulty: dict[str, int],
+        frontier: list[Gate] | None = None,
     ) -> tuple[str, int] | None:
         site_value = good[fault.net]
         if site_value == X:
             return fault.net, 1 - fault.value
-        frontier = self._d_frontier(fault, good, faulty)
+        if frontier is None:
+            frontier = self._d_frontier(fault, good, faulty)
         if not frontier:
             return None
         frontier.sort(key=lambda g: self.cc[g.output][0] + self.cc[g.output][1])
@@ -309,6 +399,12 @@ class PodemAtpg:
         assignment: dict[str, int] = {}
         decisions: list[tuple[str, int, bool]] = []  # (pi, value, tried_both)
         backtracks = 0
+        effect_source = fault.net
+        if fault.site is FaultSite.GATE_INPUT and fault.gate is not None:
+            effect_source = self._gate_by_name[fault.gate].output
+        cone = (
+            self._effect_cone(effect_source) if self.learned else frozenset()
+        )
 
         while True:
             good, faulty = self._imply(fault, assignment)
@@ -318,13 +414,22 @@ class PodemAtpg:
                     self._complete_pattern(assignment, fill),
                     backtracks,
                 )
+            pins = self._learned_pins(good) if self.learned else {}
 
             failed = False
+            frontier: list[Gate] | None = None
             site_value = good[fault.net]
             if site_value != X and site_value == fault.value:
                 failed = True  # activation impossible under this assignment
+            elif site_value == X and pins.get(fault.net) == fault.value:
+                # Learned implications pin the site to its stuck value in
+                # every completion of this assignment: activation impossible.
+                self.learned_conflicts += 1
+                failed = True
             else:
                 frontier = self._d_frontier(fault, good, faulty)
+                if pins and frontier:
+                    frontier = self._prune_frontier(frontier, good, pins, cone)
                 activated = site_value != X
                 if activated and not frontier:
                     failed = True
@@ -333,7 +438,7 @@ class PodemAtpg:
 
             if not failed:
                 step = None
-                objective = self._objective(fault, good, faulty)
+                objective = self._objective(fault, good, faulty, frontier)
                 if objective is not None:
                     step = self._backtrace(objective[0], objective[1], good)
                 if step is None:
@@ -414,6 +519,11 @@ def _noncontrolling_value(gate_type: GateType) -> int | None:
     return None  # XOR family and single-input gates have no controlling value
 
 
+def _controlling_value(gate_type: GateType) -> int | None:
+    noncontrolling = _noncontrolling_value(gate_type)
+    return None if noncontrolling is None else 1 - noncontrolling
+
+
 @dataclass
 class DeterministicAtpgResult:
     """Outcome of deterministic top-off generation over a fault list."""
@@ -423,6 +533,9 @@ class DeterministicAtpgResult:
     redundant: list[StuckAtFault] = field(default_factory=list)
     aborted: list[StuckAtFault] = field(default_factory=list)
     skipped_untestable: list[StuckAtFault] = field(default_factory=list)
+    backtracks: int = 0
+    learned_prunes: int = 0
+    learned_conflicts: int = 0
 
     @property
     def coverage_of_targeted(self) -> float:
@@ -438,6 +551,7 @@ def generate_deterministic_tests(
     fill: int = 0,
     untestable: Collection[StuckAtFault] | None = None,
     scoap: ScoapMeasures | None = None,
+    learned: LearnedImplications | None = None,
 ) -> DeterministicAtpgResult:
     """Run PODEM over ``faults`` with fault dropping.
 
@@ -446,9 +560,15 @@ def generate_deterministic_tests(
     uses after its random prefix.  Faults listed in ``untestable`` — proved
     undetectable by the static implication screen — are recorded in
     ``skipped_untestable`` without spending any search on them; ``scoap``
-    passes precomputed testability measures to the backtrace.
+    passes precomputed testability measures to the backtrace; ``learned``
+    hands the prover's static learned implications to the search, where they
+    fail impossible activations early and prune blocked D-frontier gates
+    (the per-run effect is reported in ``backtracks`` / ``learned_prunes`` /
+    ``learned_conflicts``).
     """
-    atpg = PodemAtpg(circuit, backtrack_limit=backtrack_limit, scoap=scoap)
+    atpg = PodemAtpg(
+        circuit, backtrack_limit=backtrack_limit, scoap=scoap, learned=learned
+    )
     simulator = FaultSimulator(circuit)
     result = DeterministicAtpgResult(
         test_set=TestSet(n_inputs=len(circuit.primary_inputs))
@@ -488,6 +608,7 @@ def generate_deterministic_tests(
                     )
                 )
             obs.inc("podem.backtracks", outcome.backtracks)
+            result.backtracks += outcome.backtracks
             if outcome.status == AtpgStatus.REDUNDANT:
                 obs.inc("podem.redundant")
                 result.redundant.append(target)
@@ -506,10 +627,16 @@ def generate_deterministic_tests(
                 dropped = set(sim.first_detection)
                 result.tested.extend(f for f in remaining if f in dropped)
                 remaining = [f for f in remaining if f not in dropped]
+        result.learned_prunes = atpg.learned_prunes
+        result.learned_conflicts = atpg.learned_conflicts
+        if atpg.learned:
+            obs.inc("podem.learned_prunes", atpg.learned_prunes)
+            obs.inc("podem.learned_conflicts", atpg.learned_conflicts)
         podem_span.set(
             n_vectors=len(result.test_set),
             n_redundant=len(result.redundant),
             n_aborted=len(result.aborted),
             n_skipped_untestable=len(result.skipped_untestable),
+            n_backtracks=result.backtracks,
         )
     return result

@@ -89,6 +89,15 @@ class ExperimentConfig:
     #: up front (alongside PODEM-proven redundancies) and SCOAP measures are
     #: shared with the PODEM backtrace.  False is the ablation switch.
     static_analysis: bool = True
+    #: When True (default, and only meaningful with ``static_analysis``), the
+    #: proof-carrying redundancy prover runs on top of the implication
+    #: screen: every extra fault it removes from the denominator carries a
+    #: certificate validated by the independent checker, and its static
+    #: learned implications are handed to the PODEM search.  False falls
+    #: back to the bare screen (ablation switch).
+    prove_redundancy: bool = True
+    #: Recursive-learning depth bound for the redundancy prover.
+    prover_depth: int = 2
 
     def __post_init__(self) -> None:
         """Reject invalid knobs at construction, not mid-pipeline."""
@@ -130,6 +139,10 @@ class ExperimentConfig:
                 "engine 'numpy' needs word_width to be a positive multiple "
                 f"of 64 (whole uint64 words), got {self.word_width}"
             )
+        if self.prover_depth < 0:
+            raise ValueError(
+                f"prover_depth must be non-negative, got {self.prover_depth}"
+            )
 
     def __hash__(self) -> int:  # DefectStatistics carries dicts
         stats_key = (
@@ -153,6 +166,8 @@ class ExperimentConfig:
                 self.fault_sim_workers,
                 self.engine,
                 self.static_analysis,
+                self.prove_redundancy,
+                self.prover_depth,
             )
         )
 
@@ -183,6 +198,10 @@ class ExperimentResult:
     stages_restored: list[str] = field(default_factory=list)
     #: Stage names computed (and checkpointed, when a store is attached).
     stages_recomputed: list[str] = field(default_factory=list)
+    #: PODEM search statistics from the deterministic top-off: total
+    #: backtracks plus learned-implication prune/conflict counts (empty when
+    #: the top-off was skipped).
+    podem_stats: dict[str, int] = field(default_factory=dict)
 
     def resilience_info(self) -> dict[str, object]:
         """Restore/recompute and engine-degradation facts, for manifests."""
@@ -408,9 +427,19 @@ def _run_pipeline(
         screened = collapsed
         if config.static_analysis:
             with attribution.stage("static_analysis"):
-                analysis = analyze_circuit(circuit, faults=collapsed)
+                analysis = analyze_circuit(
+                    circuit,
+                    faults=collapsed,
+                    prove=config.prove_redundancy,
+                    prover_depth=config.prover_depth,
+                )
                 static_untestable = analysis.untestable_faults()
                 screened = analysis.screen(collapsed)
+        learned = (
+            analysis.prover.learned
+            if analysis is not None and analysis.prover is not None
+            else None
+        )
 
         def compute_atpg() -> dict[str, object]:
             random_result = generate_random_tests(
@@ -428,6 +457,7 @@ def _run_pipeline(
                     backtrack_limit=config.backtrack_limit,
                     untestable=static_untestable,
                     scoap=analysis.scoap if analysis is not None else None,
+                    learned=learned,
                 )
                 # The paper assumes "redundant faults can be neglected, so
                 # T(k) -> 1".  Proven-redundant faults are excluded from the
@@ -438,9 +468,15 @@ def _run_pipeline(
                     deterministic.aborted
                 )
                 deterministic_patterns = list(deterministic.test_set.patterns)
+                podem_stats = {
+                    "backtracks": deterministic.backtracks,
+                    "learned_prunes": deterministic.learned_prunes,
+                    "learned_conflicts": deterministic.learned_conflicts,
+                }
             else:
                 redundant = []
                 deterministic_patterns = []
+                podem_stats = {}
             excluded = set(redundant)
             return {
                 "patterns": list(random_result.test_set.patterns)
@@ -448,6 +484,7 @@ def _run_pipeline(
                 "n_random": len(random_result.test_set),
                 "redundant": redundant,
                 "testable": [f for f in screened if f not in excluded],
+                "podem_stats": podem_stats,
             }
 
         atpg = run_stage("atpg", compute_atpg)
@@ -455,9 +492,16 @@ def _run_pipeline(
         n_random: int = atpg["n_random"]
         redundant: list[StuckAtFault] = atpg["redundant"]
         testable: list[StuckAtFault] = atpg["testable"]
+        # Checkpoints written before the podem_stats key existed decode to a
+        # dict without it; degrade to empty stats rather than KeyError.
+        podem_stats: dict[str, int] = atpg.get("podem_stats", {})
         obs.set_gauge("pipeline.n_patterns", len(patterns))
         obs.set_gauge("pipeline.n_stuck_faults", len(testable))
         obs.set_gauge("pipeline.n_untestable_static", len(static_untestable))
+        if analysis is not None and analysis.prover is not None:
+            obs.set_gauge(
+                "pipeline.n_proved", len(analysis.prover.proved)
+            )
 
         def compute_stuck() -> dict[str, object]:
             with obs.span("pipeline.stuck_fault_sim", n_patterns=len(patterns)):
@@ -541,6 +585,7 @@ def _run_pipeline(
         engine=engine,
         stages_restored=restored,
         stages_recomputed=recomputed,
+        podem_stats=podem_stats,
     )
 
 

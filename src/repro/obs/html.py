@@ -49,6 +49,7 @@ PANEL_IDS = (
     "panel-ndetection",
     "panel-waterfall",
     "panel-lanes",
+    "panel-analysis",
     "panel-resilience",
     "panel-attribution",
 )
@@ -725,6 +726,61 @@ def _lanes_panel(manifests: Sequence["RunManifest"]) -> str:
     return _panel("panel-lanes", "Worker lanes", body, caption)
 
 
+def _analysis_panel(manifests: Sequence["RunManifest"]) -> str:
+    """Redundancy-prover summary of the latest run that recorded one.
+
+    Manifests written before the prover existed (or runs with the prover
+    ablated) carry no ``results["prover"]`` record; the panel degrades to a
+    note instead of failing, so old histories still render.
+    """
+    manifest = _latest_with(
+        manifests, lambda m: isinstance(m.results.get("prover"), dict)
+    )
+    if manifest is None:
+        return _panel(
+            "panel-analysis",
+            "Redundancy prover",
+            _note(
+                "no prover records in this history — runs predate the "
+                "prover or ran with prove_redundancy disabled"
+            ),
+        )
+    prover = manifest.results["prover"]
+    podem = prover.get("podem") or {}
+    certs_failed = int(_num(prover.get("certs_failed")) or 0)
+    by_method = prover.get("by_method") or {}
+    methods = ", ".join(
+        f"{name}: {count}" for name, count in sorted(by_method.items())
+    )
+    tiles = "".join(
+        f'<div class="tile"><div class="tile-value {cls}">{value}</div>'
+        f'<div class="tile-label">{escape(label)}</div></div>'
+        for value, label, cls in (
+            (prover.get("n_proved", 0), "faults proved untestable", "ink"),
+            (prover.get("n_screened", "?"), "faults screened", "ink"),
+            (prover.get("depth", "?"), "recursion depth", "ink"),
+            (prover.get("n_learned", 0), "learned implications", "ink"),
+            (
+                certs_failed,
+                "certificates failed",
+                "crit" if certs_failed else "good",
+            ),
+            (podem.get("backtracks", 0), "PODEM backtracks", "ink"),
+            (podem.get("learned_prunes", 0), "learned prunes", "ink"),
+            (podem.get("learned_conflicts", 0), "learned conflicts", "ink"),
+        )
+    )
+    body = f'<div class="tiles">{tiles}</div>'
+    if methods:
+        body += f'<p class="note">proofs by method — {escape(methods)}</p>'
+    caption = (
+        f"latest run with prover records ({escape(manifest.benchmark or '?')})"
+        "; proved faults leave the coverage denominator before any vector "
+        "is generated, each carrying an independently checked certificate"
+    )
+    return _panel("panel-analysis", "Redundancy prover", body, caption)
+
+
 def _resilience_panel(manifests: Sequence["RunManifest"]) -> str:
     retries = salvaged = degraded = restored = recomputed = 0
     reported = 0
@@ -986,6 +1042,7 @@ def build_report(
         + _ndetection_panel(manifests)
         + _waterfall_panel(manifests)
         + _lanes_panel(manifests)
+        + _analysis_panel(manifests)
         + _resilience_panel(manifests)
         + _attribution_panel(manifests)
         if manifests

@@ -201,7 +201,7 @@ class NumpyFaultSimulator:
         circuit: Circuit,
         width: int = DEFAULT_NUMPY_WIDTH,
         lane_batch: int = DEFAULT_LANE_BATCH,
-    ):
+    ) -> None:
         if width < 64 or width % 64:
             raise ValueError(
                 "numpy engine width must be a positive multiple of 64 "
@@ -587,7 +587,11 @@ class NumpyFaultSimulator:
             diff_buf = np.empty((lane_batch, words_per_block), dtype=np.uint64)
             tmp_buf = np.empty_like(diff_buf)
             tail_bits = n_patterns % 64
-            tail_mask = np.uint64((1 << tail_bits) - 1) if tail_bits else None
+            # A no-op all-ones mask when the pattern count is word-aligned:
+            # masks_tail below never fires then, and the mask stays non-None.
+            tail_mask = (
+                np.uint64((1 << tail_bits) - 1) if tail_bits else _U64_ONES
+            )
 
             n_blocks = -(-n_words_total // words_per_block) if n_patterns else 0
             for block_index in range(n_blocks):
@@ -603,7 +607,7 @@ class NumpyFaultSimulator:
                     good_gate_evals += good_size
                     pattern_blocks += 1
                     pattern_bytes += self._n_inputs * width // 8
-                masks_tail = tail_mask is not None and word_hi == n_words_total
+                masks_tail = tail_bits != 0 and word_hi == n_words_total
                 for batch_index, prog in enumerate(programs):
                     if drop_detected and batch_alive[batch_index] == 0:
                         continue

@@ -42,7 +42,7 @@ from __future__ import annotations
 import os
 import time
 import warnings
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from repro import obs
 from repro.circuit.netlist import Circuit
@@ -58,8 +58,11 @@ from repro.simulation.engines import (
     default_width,
     resolve_engine,
 )
-from repro.simulation.fault_sim import FaultSimResult, FaultSimulator
+from repro.simulation.fault_sim import FaultSimResult
 from repro.simulation.faults import StuckAtFault, full_fault_universe
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulation.engines import Engine
 
 __all__ = ["ParallelFaultSimulator", "DEFAULT_CROSSOVER", "RUN_SCOPED_COUNTERS"]
 
@@ -77,14 +80,16 @@ RUN_SCOPED_COUNTERS = frozenset({"fault_sim.patterns_applied"})
 
 # Worker-process state, installed once per worker by _init_worker.  The
 # simulator is whichever engine the parent resolved (python or numpy) and
-# the packed groups are in that engine's native packed form.
-_WORKER_SIM: FaultSimulator | object | None = None
-_WORKER_GROUPS: object | None = None
+# the packed groups are in that engine's native packed form (``Any``:
+# each engine's ``pack``/``run_packed`` pair agrees on the shape, but the
+# shapes differ between engines).
+_WORKER_SIM: "Engine | None" = None
+_WORKER_GROUPS: Any = None
 _WORKER_N_PATTERNS: int = 0
 
 #: The worker-telemetry envelope riding along with each chunk result:
 #: ``{"worker_pid": int, "counters": {name: delta}, "spans": [records]}``.
-ChunkTelemetry = dict | None
+ChunkTelemetry = dict[str, Any] | None
 
 
 def _init_worker(
@@ -218,7 +223,7 @@ class ParallelFaultSimulator:
         retry: RetryPolicy | None = None,
         chunk_timeout: float | None = None,
         engine: str = "python",
-    ):
+    ) -> None:
         self.circuit = circuit
         self.requested_engine = engine
         kind, reason = resolve_engine(engine, width)
@@ -381,7 +386,9 @@ class ParallelFaultSimulator:
                 with obs.span(
                     "fault_sim.serial_salvage", n_chunks=len(serial_pending)
                 ):
-                    groups = self.serial.pack(pattern_rows)
+                    # ``Any``: the packed shape is engine-specific but always
+                    # consumed by the same engine that produced it.
+                    groups: Any = self.serial.pack(pattern_rows)
                     for cid in sorted(serial_pending):
                         chunk = serial_pending[cid]
                         chunk_first, chunk_counts = (

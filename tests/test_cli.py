@@ -339,3 +339,80 @@ def test_cli_engine_auto_records_choice_in_manifest(capsys, tmp_path):
 def test_cli_engine_rejects_unknown_name(capsys):
     with pytest.raises(SystemExit):
         main(["c17", "--engine", "fortran"])
+
+
+def test_cli_analyze_prove_prints_prover_summary(capsys):
+    code = main(["analyze", "alu4", "--prove", "--depth", "1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "prover: 4 of 440 faults proved untestable (depth 1" in out
+    assert "4 certificates checked, 0 failed" in out
+
+
+def test_cli_analyze_certificates_file(capsys, tmp_path):
+    import json
+
+    from repro.analysis.check import check_certificates
+    from repro.circuit.iscas import load_benchmark
+
+    certs_file = tmp_path / "certs.json"
+    code = main(
+        ["analyze", "alu4", "--prove", "--depth", "1",
+         "--certificates", str(certs_file)]
+    )
+    assert code == 0
+    assert "4 certificates written to" in capsys.readouterr().out
+    payload = json.loads(certs_file.read_text())
+    assert payload["schema_version"] == 2
+    certs = payload["certificates"]["alu4"]
+    assert len(certs) == 4
+    # The written certificates stand on their own: an independent checker
+    # bound to a freshly-built circuit validates every one.
+    n_ok, errors = check_certificates(load_benchmark("alu4"), certs)
+    assert n_ok == 4 and not errors
+
+
+def test_cli_analyze_json_schema_version_and_engine_preflight(tmp_path):
+    import json
+
+    from repro.simulation.engines import ENGINE_NAMES
+
+    report = tmp_path / "analysis.json"
+    code = main(["analyze", "c17", "--quick", "--json", str(report)])
+    assert code == 0
+    payload = json.loads(report.read_text())
+    assert payload["schema_version"] == 2
+    preflight = payload["engine_preflight"]
+    assert preflight["names"] == sorted(ENGINE_NAMES)
+    assert set(preflight["numpy"]) == {"ok", "reason"}
+    assert isinstance(preflight["numpy"]["ok"], bool)
+    assert [c["circuit"] for c in payload["circuits"]] == ["c17"]
+
+
+def test_cli_analyze_json_includes_prover_block(tmp_path):
+    import json
+
+    report = tmp_path / "analysis.json"
+    code = main(["analyze", "alu4", "--prove", "--json", str(report)])
+    assert code == 0
+    (entry,) = json.loads(report.read_text())["circuits"]
+    prover = entry["prover"]
+    assert prover["n_proved"] == 4
+    assert prover["certs_failed"] == 0
+    assert prover["depth"] == 2
+    assert prover["netlist_sha256"]
+
+
+def test_cli_analyze_rejects_negative_depth(capsys):
+    code = main(["analyze", "c17", "--prove", "--depth", "-1"])
+    assert code == 2
+    assert "--depth must be non-negative" in capsys.readouterr().err
+
+
+def test_cli_analyze_certificates_requires_prove(capsys, tmp_path):
+    code = main(
+        ["analyze", "c17", "--certificates", str(tmp_path / "c.json")]
+    )
+    assert code == 2
+    assert "--certificates requires --prove" in capsys.readouterr().err
+    assert not (tmp_path / "c.json").exists()

@@ -356,3 +356,60 @@ def test_synthetic_manifest_roundtrips(tmp_path):
     (back,) = read_manifests(str(path))
     assert back.curves["n_detection"]["depth_cap"] == 16
     assert back.attribution["reconcile"]["coverage"] == pytest.approx(0.9)
+
+
+# ---------------------------------------------------------------------------
+# Redundancy-prover panel
+# ---------------------------------------------------------------------------
+def test_analysis_panel_renders_prover_tiles():
+    manifest = _manifest(41)
+    manifest.results["prover"] = {
+        "n_proved": 49,
+        "n_screened": 820,
+        "depth": 2,
+        "by_method": {"fire": 48, "static_learning": 1},
+        "n_learned": 132,
+        "certs_failed": 0,
+        "podem": {
+            "backtracks": 15443,
+            "learned_prunes": 159,
+            "learned_conflicts": 646,
+        },
+    }
+    html = build_report([manifest])
+    _assert_self_contained(html)
+    assert 'id="panel-analysis"' in html
+    assert "faults proved untestable" in html
+    assert "proofs by method — fire: 48, static_learning: 1" in html
+    assert "PODEM backtracks" in html
+    assert "15443" in html
+    # Zero failed certificates renders as a good (not crit) tile.
+    assert 'class="tile-value good">0<' in html
+    assert "no prover records" not in html
+
+
+def test_analysis_panel_flags_failed_certificates():
+    manifest = _manifest(42)
+    manifest.results["prover"] = {
+        "n_proved": 7,
+        "n_screened": 100,
+        "depth": 1,
+        "by_method": {"fire": 7},
+        "n_learned": 3,
+        "certs_failed": 2,
+        "podem": {},
+    }
+    html = build_report([manifest])
+    assert 'class="tile-value crit">2<' in html
+
+
+def test_analysis_panel_degrades_on_pre_prover_manifests():
+    # Histories recorded before the prover existed carry no
+    # results["prover"]; ablated runs record None.  Both degrade to a note.
+    old = _manifest(43)
+    ablated = _manifest(44)
+    ablated.results["prover"] = None
+    html = build_report([old, ablated])
+    assert 'id="panel-analysis"' in html
+    assert "no prover records in this history" in html
+    _assert_self_contained(html)

@@ -106,3 +106,63 @@ def test_detection_technique_config():
         ExperimentConfig(benchmark="c17", max_random_patterns=128, seed=7)
     )
     assert strict.theta_max <= default.theta_max + 1e-12
+
+
+def test_prover_attached_by_default(small_experiment):
+    # prove_redundancy defaults on: the analysis carries a prover result
+    # even when (as on the fully-testable c17) it proves nothing.
+    analysis = small_experiment.analysis
+    assert analysis is not None
+    assert analysis.prover is not None
+    assert analysis.prover.depth == 2
+    assert analysis.prover.proved == []
+    assert analysis.prover.certs_failed == 0
+
+
+def test_prove_redundancy_can_be_disabled(small_experiment):
+    plain = run_experiment(
+        ExperimentConfig(
+            benchmark="c17",
+            max_random_patterns=128,
+            seed=7,
+            prove_redundancy=False,
+        )
+    )
+    assert plain is not small_experiment
+    assert plain.analysis is not None
+    assert plain.analysis.prover is None
+    # Nothing provable on c17, so the physics is untouched either way.
+    assert plain.series() == small_experiment.series()
+
+
+def test_prover_config_hashes_distinctly():
+    base = ExperimentConfig(benchmark="c17")
+    no_prove = ExperimentConfig(benchmark="c17", prove_redundancy=False)
+    deeper = ExperimentConfig(benchmark="c17", prover_depth=3)
+    assert hash(base) != hash(no_prove) and base != no_prove
+    assert hash(base) != hash(deeper) and base != deeper
+
+
+def test_prover_depth_must_be_non_negative():
+    with pytest.raises(ValueError, match="prover_depth"):
+        ExperimentConfig(benchmark="c17", prover_depth=-1)
+
+
+def test_podem_stats_recorded_on_topoff_run():
+    # alu4 at a tiny random budget forces a deterministic top-off, which
+    # runs PODEM with the prover's learned base and records its search
+    # statistics on the result.
+    result = run_experiment(
+        ExperimentConfig(benchmark="alu4", max_random_patterns=8, seed=3)
+    )
+    assert set(result.podem_stats) == {
+        "backtracks",
+        "learned_prunes",
+        "learned_conflicts",
+    }
+    prover = result.analysis.prover
+    assert prover is not None
+    assert len(prover.proved) == 4
+    # The proved faults are exactly the statically-excluded ones: they
+    # leave the coverage denominator before any vector is generated.
+    assert set(prover.proved) <= set(result.static_untestable)

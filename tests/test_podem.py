@@ -105,3 +105,72 @@ def test_scoap_nand_asymmetry():
     cc0, cc1 = scoap_controllability(ckt)["z"]
     # Output 0 needs ALL inputs high (expensive); output 1 needs one low.
     assert cc0 > cc1
+
+
+def test_learned_implications_cut_backtracks_on_c432(c432_circuit):
+    # The prover's static learned base hands PODEM contrapositive
+    # implications; on the c432 LA/LB/LC bus faults every search closes in
+    # one backtrack instead of two, with the saving visible in the
+    # learned-conflict counter.  Outcomes (and pattern validity) must be
+    # identical with and without the learned base.
+    from repro.analysis.prover import static_learning
+
+    learned = static_learning(c432_circuit)
+    faults = [
+        StuckAtFault(f"{group}{i}", 0)
+        for group in ("LA", "LB", "LC")
+        for i in range(9)
+    ]
+    plain = PodemAtpg(c432_circuit, backtrack_limit=300)
+    smart = PodemAtpg(c432_circuit, backtrack_limit=300, learned=learned)
+    sim = FaultSimulator(c432_circuit)
+    total_plain = total_smart = 0
+    for fault in faults:
+        a = plain.generate(fault)
+        b = smart.generate(fault)
+        assert a.status == b.status, str(fault)
+        assert b.backtracks <= a.backtracks, str(fault)
+        total_plain += a.backtracks
+        total_smart += b.backtracks
+        if b.status == AtpgStatus.TESTED:
+            assert sim.detects(fault, b.pattern), str(fault)
+    assert total_smart < total_plain
+    assert smart.learned_conflicts > 0
+    assert plain.learned_conflicts == plain.learned_prunes == 0
+
+
+def test_learned_implications_preserve_outcomes(c17_circuit):
+    from repro.analysis.prover import static_learning
+
+    learned = static_learning(c17_circuit)
+    plain = PodemAtpg(c17_circuit)
+    smart = PodemAtpg(c17_circuit, learned=learned)
+    sim = FaultSimulator(c17_circuit)
+    for fault in collapse_faults(c17_circuit):
+        a = plain.generate(fault)
+        b = smart.generate(fault)
+        assert a.status == b.status == AtpgStatus.TESTED, str(fault)
+        assert sim.detects(fault, b.pattern), str(fault)
+
+
+def test_deterministic_flow_reports_learned_stats(c432_circuit):
+    from repro.analysis.prover import static_learning
+
+    learned = static_learning(c432_circuit)
+    faults = [
+        StuckAtFault(f"{group}{i}", 0)
+        for group in ("LA", "LB", "LC")
+        for i in range(9)
+    ]
+    without = generate_deterministic_tests(
+        c432_circuit, faults, backtrack_limit=300
+    )
+    with_learned = generate_deterministic_tests(
+        c432_circuit, faults, backtrack_limit=300, learned=learned
+    )
+    assert without.learned_conflicts == without.learned_prunes == 0
+    assert with_learned.backtracks <= without.backtracks
+    # Fault dropping retires most targets before PODEM sees them, but the
+    # searches that do run report their learned-implication effects.
+    assert with_learned.learned_conflicts >= 0
+    assert set(with_learned.tested) == set(without.tested)
