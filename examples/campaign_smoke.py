@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Campaign smoke: SIGKILL a live campaign, resume it, verify bit-exactness.
+
+A six-job c17 sweep runs under ``python -m repro campaign`` in a child
+process; the moment the write-ahead journal records its first completed
+job the child is killed with SIGKILL — the one signal nothing can handle.
+``campaign resume`` then replays the journal and finishes the sweep, and
+the script asserts:
+
+* every result is **bit-identical** to an uninterrupted reference campaign
+  (the result records carry no wall-clock facts, so equality is exact);
+* jobs completed before the kill were not recomputed (no second lease);
+* a fresh campaign sharing the result store serves **all** jobs from cache
+  with zero simulation — its journal holds cached completions only.
+
+This is the CI campaign-smoke gate.  The campaign directory (journal
+included) survives at ``campaign-smoke/`` for artifact upload.
+
+Run:  PYTHONPATH=src python examples/campaign_smoke.py
+"""
+
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.campaign import CampaignSpec, CampaignSupervisor, Journal, ResultStore
+from repro.experiments import ExperimentConfig
+
+HOME = Path("campaign-smoke")
+SEEDS = (1, 2, 3, 4, 5, 6)
+
+
+def write_spec() -> Path:
+    spec_path = HOME / "spec.json"
+    spec_path.write_text(
+        json.dumps(
+            {
+                "name": "smoke-sweep",
+                "base": {"benchmark": "c17", "max_random_patterns": 32},
+                "grid": {"seed": list(SEEDS)},
+            }
+        )
+    )
+    return spec_path
+
+
+def reference_records() -> dict[str, dict]:
+    """An uninterrupted campaign: the ground truth every path must match."""
+    sup = CampaignSupervisor(HOME / "reference", max_workers=0)
+    sup.submit(
+        CampaignSpec(
+            name="smoke-sweep",
+            base=ExperimentConfig(benchmark="c17", max_random_patterns=32),
+            grid={"seed": SEEDS},
+        )
+    )
+    report = sup.run()
+    assert report.n_done == len(SEEDS), report
+    store = ResultStore(HOME / "reference" / "results")
+    return {job_id: store.load(job_id) for job_id in store.job_ids()}
+
+
+def campaign_cmd(*args: str) -> list[str]:
+    return [sys.executable, "-m", "repro", "campaign", *args]
+
+
+def kill_mid_flight(spec_path: Path) -> int:
+    """Start the campaign, SIGKILL it after the first journalled ``done``."""
+    camp = HOME / "camp"
+    env = dict(os.environ, PYTHONPATH="src")
+    child = subprocess.Popen(
+        campaign_cmd("run", str(spec_path), "--dir", str(camp), "--workers", "0"),
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    journal_path = camp / "journal.jsonl"
+    deadline = time.monotonic() + 120.0
+    while time.monotonic() < deadline:
+        if child.poll() is not None:
+            raise AssertionError(
+                f"campaign finished (rc={child.returncode}) before the kill"
+            )
+        try:
+            text = journal_path.read_text(encoding="utf-8")
+        except OSError:
+            text = ""
+        if '"type": "done"' in text:
+            break
+        time.sleep(0.02)
+    else:
+        child.kill()
+        raise AssertionError("no job completed within 120s")
+    child.send_signal(signal.SIGKILL)
+    child.wait(timeout=30)
+    records, _ = Journal(camp).replay()
+    done_before = sum(1 for r in records if r.get("type") == "done")
+    assert 1 <= done_before < len(SEEDS), f"{done_before} jobs done before kill"
+    print(f"killed campaign with SIGKILL after {done_before} completed job(s)")
+    return done_before
+
+
+def resume_and_verify(reference: dict[str, dict], done_before: int) -> None:
+    camp = HOME / "camp"
+    env = dict(os.environ, PYTHONPATH="src")
+    rc = subprocess.run(
+        campaign_cmd("resume", "--dir", str(camp), "--workers", "0"), env=env
+    ).returncode
+    assert rc == 0, f"campaign resume exited {rc}"
+
+    records, _ = Journal(camp).replay()
+    leases: dict[str, int] = {}
+    for record in records:
+        if record.get("type") == "lease":
+            leases[record["job"]] = leases.get(record["job"], 0) + 1
+    done_jobs = [r["job"] for r in records if r.get("type") == "done"]
+    assert len(done_jobs) == len(SEEDS), done_jobs
+    # Jobs finished before the kill must not have been recomputed: exactly
+    # one lease each, journalled before their completion.
+    survivors = done_jobs[:done_before]
+    for job_id in survivors:
+        assert leases.get(job_id) == 1, (job_id, leases)
+
+    store = ResultStore(camp / "results")
+    resumed = {job_id: store.load(job_id) for job_id in store.job_ids()}
+    assert resumed == reference, "resumed results differ from reference"
+    print(
+        f"resume ok: {len(done_jobs)} jobs done, survivors kept their single "
+        "lease, all results bit-identical to the uninterrupted reference"
+    )
+
+
+def verify_cache_serving(reference: dict[str, dict]) -> None:
+    """A fresh campaign over the same store must do zero simulation."""
+    env = dict(os.environ, PYTHONPATH="src")
+    rc = subprocess.run(
+        campaign_cmd(
+            "run",
+            str(HOME / "spec.json"),
+            "--dir",
+            str(HOME / "cached"),
+            "--workers",
+            "0",
+            "--results-dir",
+            str(HOME / "camp" / "results"),
+        ),
+        env=env,
+    ).returncode
+    assert rc == 0, f"cached campaign exited {rc}"
+    records, _ = Journal(HOME / "cached").replay()
+    kinds = [r["type"] for r in records]
+    assert kinds.count("lease") == 0, kinds  # zero simulation
+    dones = [r for r in records if r["type"] == "done"]
+    assert len(dones) == len(SEEDS) and all(r["cached"] for r in dones), dones
+    store = ResultStore(HOME / "camp" / "results")
+    assert {j: store.load(j) for j in store.job_ids()} == reference
+    print(
+        f"cache ok: {len(dones)} jobs served from cache with zero leases, "
+        "store untouched"
+    )
+
+
+def main() -> int:
+    shutil.rmtree(HOME, ignore_errors=True)
+    HOME.mkdir(parents=True)
+    spec_path = write_spec()
+    reference = reference_records()
+    print(f"reference campaign complete ({len(reference)} results)")
+    done_before = kill_mid_flight(spec_path)
+    resume_and_verify(reference, done_before)
+    verify_cache_serving(reference)
+    print("campaign smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,7 @@ Usage::
     python -m repro analyze [circuit ...] [--quick] [--json FILE]
                     [--fail-on-error]
     python -m repro obs {list,diff,check-bench,html} ...
+    python -m repro campaign {run,resume,status,gc,compact} ...
 
 The default command prints the coverage-growth table (fig. 4), the
 defect-level comparison (fig. 5) and the fitted eq.-11 parameters;
@@ -44,6 +45,17 @@ findings (the CI gate).
 tabulates the runs in trace files, ``diff`` compares two runs field by
 field, and ``check-bench`` gates fresh ``BENCH_*.json`` timings against a
 committed baseline.
+
+``campaign`` orchestrates *many* experiments as one crash-safe unit (see
+:mod:`repro.campaign.cli`): a JSON spec expands into content-addressed
+jobs, a write-ahead journal makes ``kill -9`` recoverable via ``campaign
+resume``, and completed configurations are served from the result cache
+with zero recomputation.
+
+A single run interrupted with Ctrl-C exits ``130`` after flushing its
+stage checkpoints (when ``--checkpoint-dir`` is active) and appending an
+interrupted-run manifest line (when ``--trace`` is active), with a
+one-line hint on how to resume.
 """
 
 from __future__ import annotations
@@ -114,6 +126,26 @@ def build_parser() -> argparse.ArgumentParser:
             "'numpy' uint64 bitslice kernel, or 'auto' to pick numpy "
             "when the platform preflight passes (default: auto; the "
             "choice and its reason are recorded in the run manifest)"
+        ),
+    )
+    parser.add_argument(
+        "--fault-sim-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "total pool attempts per fault chunk before serial salvage "
+            "(default: the retry policy's budget of 2)"
+        ),
+    )
+    parser.add_argument(
+        "--chunk-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help=(
+            "per-chunk deadline in seconds for the parallel fault-sim "
+            "stage (default: no deadline)"
         ),
     )
     parser.add_argument(
@@ -435,6 +467,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs.cli import obs_main
 
         return obs_main(argv[1:])
+    if argv and argv[0] == "campaign":
+        from repro.campaign.cli import campaign_main
+
+        return campaign_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     if args.resume and not args.checkpoint_dir:
@@ -511,12 +547,26 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             max_random_patterns=args.max_random_patterns,
             engine=args.engine,
+            fault_sim_retries=args.fault_sim_retries,
+            chunk_timeout=args.chunk_timeout,
         )
     except ValueError as exc:
         print(f"error: invalid configuration: {exc}", file=sys.stderr)
         return 2
     print(f"running pipeline on {args.benchmark} (Y = {args.target_yield})...")
     hits_before = cache_info().hits
+    def close_consumers() -> None:
+        if streaming:
+            if renderer is not None:
+                renderer.close()
+            if event_sink is not None:
+                event_sink.close()
+            obs.disable_events()
+        if instrumented:
+            obs.disable()
+        if attributing:
+            attribution.disable()
+
     try:
         result = run_experiment(
             config,
@@ -529,17 +579,46 @@ def main(argv: list[str] | None = None) -> int:
         )
     except CheckpointError as exc:
         print(f"error: checkpoint failure: {exc}", file=sys.stderr)
-        if streaming:
-            if renderer is not None:
-                renderer.close()
-            if event_sink is not None:
-                event_sink.close()
-            obs.disable_events()
-        if instrumented:
-            obs.disable()
-        if attributing:
-            attribution.disable()
+        close_consumers()
         return 2
+    except KeyboardInterrupt:
+        # Completed stages are already checkpointed (each stage flushes at
+        # its boundary), so all that remains is to record the interruption
+        # and say how to pick the run back up.
+        print("\ninterrupted", file=sys.stderr)
+        if args.trace and args.trace_format == "jsonl":
+            try:
+                manifest = obs.RunManifest.from_run(
+                    config,
+                    collector=collector if instrumented else None,
+                    registry=metrics if instrumented else None,
+                    results={"interrupted": True},
+                )
+                manifest.write(args.trace)
+                print(
+                    f"interrupted-run manifest appended to {args.trace}",
+                    file=sys.stderr,
+                )
+            except OSError as exc:
+                print(
+                    f"warning: cannot append manifest {args.trace}: {exc}",
+                    file=sys.stderr,
+                )
+        if args.checkpoint_dir:
+            print(
+                "completed stages are checkpointed; resume with: "
+                f"python -m repro {args.benchmark} "
+                f"--checkpoint-dir {args.checkpoint_dir} --resume",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                "hint: run with --checkpoint-dir DIR to make interrupted "
+                "runs resumable (--resume)",
+                file=sys.stderr,
+            )
+        close_consumers()
+        return 130
     if args.checkpoint_dir:
         restored = ", ".join(result.stages_restored) or "none"
         recomputed = ", ".join(result.stages_recomputed) or "none"

@@ -24,7 +24,7 @@ from __future__ import annotations
 import math
 import time
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from functools import lru_cache
 from typing import Callable
 
@@ -45,6 +45,7 @@ from repro.obs.events import CheckpointEvent, StageEvent
 from repro.resilience import chaos
 from repro.resilience.checkpoint import CheckpointStore
 from repro.resilience.errors import CheckpointCorruptError
+from repro.resilience.retry import DEFAULT_RETRY_POLICY
 from repro.simulation.engines import ENGINE_NAMES
 from repro.simulation.fault_sim import FaultSimResult
 from repro.simulation.faults import StuckAtFault, collapse_faults
@@ -98,6 +99,15 @@ class ExperimentConfig:
     prove_redundancy: bool = True
     #: Recursive-learning depth bound for the redundancy prover.
     prover_depth: int = 2
+    #: Total pool attempts per fault chunk before the serial salvage phase
+    #: (None = the default retry policy's budget).  Affects only resilience
+    #: behaviour, never results; hashed like every other knob so manifests
+    #: and campaign job ids record it.
+    fault_sim_retries: int | None = None
+    #: Per-chunk deadline in seconds for the parallel fault-simulation
+    #: stage (None = no deadline).  A chunk past its deadline is retried
+    #: in a fresh pool and, failing that, salvaged serially.
+    chunk_timeout: float | None = None
 
     def __post_init__(self) -> None:
         """Reject invalid knobs at construction, not mid-pipeline."""
@@ -143,6 +153,14 @@ class ExperimentConfig:
             raise ValueError(
                 f"prover_depth must be non-negative, got {self.prover_depth}"
             )
+        if self.fault_sim_retries is not None and self.fault_sim_retries < 1:
+            raise ValueError(
+                f"fault_sim_retries must be >= 1, got {self.fault_sim_retries}"
+            )
+        if self.chunk_timeout is not None and self.chunk_timeout <= 0:
+            raise ValueError(
+                f"chunk_timeout must be positive, got {self.chunk_timeout}"
+            )
 
     def __hash__(self) -> int:  # DefectStatistics carries dicts
         stats_key = (
@@ -168,6 +186,8 @@ class ExperimentConfig:
                 self.static_analysis,
                 self.prove_redundancy,
                 self.prover_depth,
+                self.fault_sim_retries,
+                self.chunk_timeout,
             )
         )
 
@@ -505,10 +525,20 @@ def _run_pipeline(
 
         def compute_stuck() -> dict[str, object]:
             with obs.span("pipeline.stuck_fault_sim", n_patterns=len(patterns)):
+                retry_policy = (
+                    None
+                    if config.fault_sim_retries is None
+                    else replace(
+                        DEFAULT_RETRY_POLICY,
+                        max_attempts=config.fault_sim_retries,
+                    )
+                )
                 stuck_sim = ParallelFaultSimulator(
                     circuit,
                     width=config.word_width,
                     max_workers=config.fault_sim_workers,
+                    retry=retry_policy,
+                    chunk_timeout=config.chunk_timeout,
                     engine=config.engine,
                 )
                 result = stuck_sim.run(patterns, faults=testable)

@@ -25,6 +25,7 @@ Naming scheme (see ``docs/OBSERVABILITY.md``): dotted lower-case
 from __future__ import annotations
 
 from repro.obs.events import (
+    CampaignEvent,
     CheckpointEvent,
     Event,
     EventBus,
@@ -86,6 +87,7 @@ __all__ = [
     "StageEvent",
     "RetryEvent",
     "CheckpointEvent",
+    "CampaignEvent",
     "JsonlEventSink",
     "ListSink",
     "ProgressRenderer",

@@ -40,6 +40,7 @@ __all__ = [
     "StageEvent",
     "RetryEvent",
     "CheckpointEvent",
+    "CampaignEvent",
     "EventBus",
     "JsonlEventSink",
     "ListSink",
@@ -120,9 +121,30 @@ class CheckpointEvent(Event):
     path: str | None = None
 
 
+@dataclass
+class CampaignEvent(Event):
+    """A campaign job changed state under the supervisor.
+
+    ``action``: ``"lease"`` | ``"done"`` | ``"cached"`` | ``"reclaim"`` |
+    ``"quarantine"`` | ``"degrade"`` | ``"stop"``.  ``job`` is the config
+    hash (``"-"`` for campaign-wide actions); ``data`` carries the action's
+    detail (``attempt``, ``result_sha``, ``reason``, ``workers``, ...).
+    """
+
+    job: str = "?"
+    action: str = "lease"
+    data: dict = field(default_factory=dict)
+
+
 _EVENT_TYPES: dict[str, type[Event]] = {
     cls.__name__: cls
-    for cls in (ProgressEvent, StageEvent, RetryEvent, CheckpointEvent)
+    for cls in (
+        ProgressEvent,
+        StageEvent,
+        RetryEvent,
+        CheckpointEvent,
+        CampaignEvent,
+    )
 }
 
 
@@ -368,6 +390,16 @@ class ProgressRenderer:
         elif isinstance(event, CheckpointEvent):
             self._write_line(
                 f"[checkpoint] {event.action} {event.stage}", transient=False
+            )
+        elif isinstance(event, CampaignEvent):
+            detail = ""
+            if event.data:
+                detail = "  (" + ", ".join(
+                    f"{k}={v}" for k, v in sorted(event.data.items())
+                ) + ")"
+            self._write_line(
+                f"[campaign] {event.action} {event.job}{detail}",
+                transient=False,
             )
 
     def close(self) -> None:

@@ -24,6 +24,17 @@ point                     where / what it can inject
 ``pipeline.stage``        right after a pipeline stage completes (and its
                           checkpoint is saved); kind ``exception`` simulates
                           a crash between stages.  ``key`` = stage name.
+``campaign.job``          inside the campaign worker, before the experiment
+                          runs (and before the heartbeat thread starts);
+                          kinds ``exception``, ``fatal``, ``crash``,
+                          ``sleep``.  ``key`` = job id (config hash),
+                          ``attempt`` = lease attempt number.
+``campaign.journal``      cooperative: the journal mangles the line it is
+                          appending; kinds ``truncate`` (torn tail),
+                          ``corrupt`` (bit flip).  ``key`` = record type.
+``campaign.lease``        cooperative: the supervisor treats a matching
+                          lease as expired; kind ``expire``.  ``key`` = job
+                          id, ``attempt`` = lease attempt number.
 ========================  =====================================================
 
 The plan travels into worker processes through the pool initializer, so
@@ -56,8 +67,8 @@ __all__ = [
 
 #: Kinds ``maybe_inject`` performs itself.
 _ACTIVE_KINDS = frozenset({"exception", "fatal", "crash", "sleep"})
-#: Kinds a call site must apply itself (file mangling).
-_COOPERATIVE_KINDS = frozenset({"truncate", "corrupt"})
+#: Kinds a call site must apply itself (file mangling, forced lease expiry).
+_COOPERATIVE_KINDS = frozenset({"truncate", "corrupt", "expire"})
 
 
 @dataclass(frozen=True)
@@ -70,7 +81,8 @@ class ChaosRule:
         Chaos-point name the rule arms.
     kind:
         ``exception`` | ``fatal`` | ``crash`` | ``sleep`` (active) or
-        ``truncate`` | ``corrupt`` (cooperative, applied by the call site).
+        ``truncate`` | ``corrupt`` | ``expire`` (cooperative, applied by
+        the call site).
     keys:
         Hit keys (chunk ids, stage names) the rule fires on; None = all.
     attempts:

@@ -103,6 +103,43 @@ class CheckpointStore:
         for path in self.dir.glob("*.ckpt"):
             path.unlink(missing_ok=True)
 
+    @staticmethod
+    def prune(
+        root: str | Path, keep_hashes: set[str] | frozenset[str]
+    ) -> tuple[int, int]:
+        """Delete per-config directories under ``root`` not in ``keep_hashes``.
+
+        Returns ``(directories_removed, bytes_reclaimed)``.  Only directories
+        that look like checkpoint stores — holding a ``config.json`` or at
+        least one ``*.ckpt`` file — are candidates; anything else under the
+        root is left alone.  ``python -m repro campaign gc`` uses this to
+        reclaim checkpoints whose configuration no longer appears in any
+        journal or manifest history.
+        """
+        import shutil
+
+        root = Path(root)
+        removed = 0
+        reclaimed = 0
+        if not root.is_dir():
+            return removed, reclaimed
+        for entry in sorted(root.iterdir()):
+            if not entry.is_dir() or entry.name in keep_hashes:
+                continue
+            if not (entry / "config.json").exists() and not any(
+                entry.glob("*.ckpt")
+            ):
+                continue
+            for path in entry.rglob("*"):
+                try:
+                    if path.is_file():
+                        reclaimed += path.stat().st_size
+                except OSError:
+                    continue
+            shutil.rmtree(entry, ignore_errors=True)
+            removed += 1
+        return removed, reclaimed
+
     # ------------------------------------------------------------------
     def save(self, stage: str, payload: object) -> Path:
         """Atomically persist ``payload`` as the checkpoint of ``stage``."""

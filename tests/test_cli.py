@@ -416,3 +416,66 @@ def test_cli_analyze_certificates_requires_prove(capsys, tmp_path):
     assert code == 2
     assert "--certificates requires --prove" in capsys.readouterr().err
     assert not (tmp_path / "c.json").exists()
+
+
+def test_cli_fault_sim_retries_and_chunk_timeout_accepted(capsys):
+    code = main(
+        ["c17", "--seed", "4242", "--fault-sim-retries", "3",
+         "--chunk-timeout", "30"]
+    )
+    assert code == 0
+    assert "fit of eq. 11" in capsys.readouterr().out
+
+
+def test_cli_fault_sim_retries_invalid_exits_2(capsys):
+    code = main(["c17", "--fault-sim-retries", "0"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "invalid configuration" in err
+    assert "fault_sim_retries" in err
+
+
+def test_cli_chunk_timeout_invalid_exits_2(capsys):
+    code = main(["c17", "--chunk-timeout", "-5"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "invalid configuration" in err
+    assert "chunk_timeout" in err
+
+
+def test_cli_keyboard_interrupt_exits_130_with_resume_hint(
+    capsys, tmp_path, monkeypatch
+):
+    import repro.__main__ as main_mod
+
+    def _interrupt(*_args, **_kwargs):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(main_mod, "run_experiment", _interrupt)
+    code = main(
+        ["c17", "--seed", "5150", "--checkpoint-dir", str(tmp_path / "ck")]
+    )
+    assert code == 130
+    err = capsys.readouterr().err
+    assert "interrupted" in err
+    assert "--resume" in err
+
+
+def test_cli_keyboard_interrupt_writes_interrupted_manifest(
+    capsys, tmp_path, monkeypatch
+):
+    import repro.__main__ as main_mod
+    from repro.obs.manifest import read_manifests
+
+    def _interrupt(*_args, **_kwargs):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(main_mod, "run_experiment", _interrupt)
+    trace = tmp_path / "runs.jsonl"
+    code = main(["c17", "--seed", "5150", "--trace", str(trace)])
+    assert code == 130
+    err = capsys.readouterr().err
+    assert "interrupted-run manifest appended" in err
+    assert "--checkpoint-dir DIR" in err  # resumability hint without one
+    (manifest,) = read_manifests(str(trace))
+    assert manifest.results == {"interrupted": True}
