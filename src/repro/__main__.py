@@ -11,7 +11,7 @@ Usage::
     python -m repro analyze [circuit ...] [--quick] [--json FILE]
                     [--fail-on-error]
     python -m repro obs {list,diff,check-bench,html} ...
-    python -m repro campaign {run,resume,status,gc,compact} ...
+    python -m repro campaign {run,resume,status,trace,report,gc,compact} ...
 
 The default command prints the coverage-growth table (fig. 4), the
 defect-level comparison (fig. 5) and the fitted eq.-11 parameters;
@@ -50,7 +50,12 @@ committed baseline.
 :mod:`repro.campaign.cli`): a JSON spec expands into content-addressed
 jobs, a write-ahead journal makes ``kill -9`` recoverable via ``campaign
 resume``, and completed configurations are served from the result cache
-with zero recomputation.
+with zero recomputation.  ``campaign run --progress`` renders a live
+per-job fleet table, ``status --follow`` watches a campaign read-only from
+another terminal, ``trace`` exports a Chrome/Perfetto trace built from the
+journal alone (one lane group per job), and ``report`` renders a
+self-contained HTML sweep report with gantt, sweep-axis, cache-economics
+and regression panels.
 
 A single run interrupted with Ctrl-C exits ``130`` after flushing its
 stage checkpoints (when ``--checkpoint-dir`` is active) and appending an

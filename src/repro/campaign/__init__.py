@@ -13,9 +13,12 @@ One campaign = one directory = one write-ahead journal.  The package treats
 * :mod:`repro.campaign.store` — the content-addressed result store that
   serves re-submitted sweeps from cache (:class:`ResultStore`);
 * :mod:`repro.campaign.supervisor` — the leased, heartbeat-monitored
-  process-pool scheduler (:class:`CampaignSupervisor`);
+  process-pool scheduler (:class:`CampaignSupervisor`), which also bridges
+  worker events back onto the supervisor's bus tagged per job;
+* :mod:`repro.campaign.telemetry` — the live fleet table renderer
+  (:class:`FleetRenderer`, behind ``campaign run --progress``);
 * :mod:`repro.campaign.cli` — ``python -m repro campaign run|resume|status|
-  gc|compact``.
+  trace|report|gc|compact``.
 
 See ``docs/CAMPAIGN.md`` for the design rationale and crash matrix.
 """
@@ -40,6 +43,7 @@ from repro.campaign.store import (
     result_record,
 )
 from repro.campaign.supervisor import CampaignReport, CampaignSupervisor
+from repro.campaign.telemetry import FleetRenderer
 
 __all__ = [
     "CampaignSpec",
@@ -59,4 +63,5 @@ __all__ = [
     "record_sha256",
     "CampaignSupervisor",
     "CampaignReport",
+    "FleetRenderer",
 ]

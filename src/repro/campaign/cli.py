@@ -5,8 +5,15 @@ Subcommands::
     campaign run SPEC --dir DIR      submit the spec's sweep and run it
     campaign resume --dir DIR        continue a stopped/killed campaign
     campaign status --dir DIR        job table + counts (read-only)
+    campaign status --dir DIR --follow   live-updating table (read-only)
+    campaign trace --dir DIR         Chrome trace from the journal alone
+    campaign report --dir DIR        self-contained HTML sweep report
     campaign gc --dir DIR            prune results/checkpoints not in history
     campaign compact --dir DIR       fold the journal into a snapshot
+
+``status --follow``, ``trace`` and ``report`` open the journal strictly
+read-only — they are safe to run against a live campaign (the supervisor
+stays the single writer).
 
 Exit codes follow the repo-wide convention: ``0`` success (campaign
 complete, no quarantined jobs), ``1`` complete but with quarantined jobs,
@@ -19,8 +26,10 @@ continues exactly where the run stopped.
 from __future__ import annotations
 
 import argparse
+import json
 import signal
 import sys
+import time
 from pathlib import Path
 
 from repro import obs
@@ -84,12 +93,15 @@ def build_campaign_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--progress",
             action="store_true",
-            help="render live campaign events on stderr",
+            help="render a live per-job fleet table on stderr",
         )
         p.add_argument(
             "--events",
             metavar="FILE",
-            help="stream campaign events to FILE as JSON lines (tailable)",
+            help=(
+                "stream merged campaign + tagged worker events to FILE as "
+                "JSON lines (tailable; appends across resumes)"
+            ),
         )
 
     run = sub.add_parser("run", help="submit a spec's sweep and run it")
@@ -103,6 +115,81 @@ def build_campaign_parser() -> argparse.ArgumentParser:
 
     status = sub.add_parser("status", help="show the campaign's job table")
     status.add_argument("--dir", required=True, metavar="DIR")
+    status.add_argument(
+        "--follow",
+        action="store_true",
+        help=(
+            "keep re-rendering until the campaign completes or stops "
+            "(read-only; safe while a supervisor runs)"
+        ),
+    )
+    status.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="journal poll interval for --follow (default: 1.0)",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="export a Chrome/Perfetto trace built from the journal alone",
+    )
+    trace.add_argument("--dir", required=True, metavar="DIR")
+    trace.add_argument(
+        "--out",
+        metavar="FILE",
+        help="trace JSON destination (default: <dir>/trace.json)",
+    )
+    trace.add_argument(
+        "--events",
+        metavar="FILE",
+        help=(
+            "overlay a merged --events JSONL stream as per-worker instant "
+            "markers"
+        ),
+    )
+
+    report = sub.add_parser(
+        "report", help="render a self-contained HTML sweep report"
+    )
+    report.add_argument("--dir", required=True, metavar="DIR")
+    report.add_argument(
+        "--out",
+        metavar="FILE",
+        help="report destination (default: <dir>/report.html)",
+    )
+    report.add_argument(
+        "--baseline",
+        metavar="DIR",
+        help=(
+            "previous campaign directory to compare per-job wall times "
+            "against (regression strip)"
+        ),
+    )
+    report.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        metavar="X",
+        help=(
+            "regression threshold multiplier, same contract as "
+            "obs check-bench (default: 3.0)"
+        ),
+    )
+    report.add_argument(
+        "--gate",
+        action="store_true",
+        help="exit 1 when any job regressed vs --baseline",
+    )
+    report.add_argument(
+        "--results-dir",
+        metavar="DIR",
+        help=(
+            "result store searched for per-job manifests "
+            "(default: <dir>/results)"
+        ),
+    )
 
     gc = sub.add_parser(
         "gc",
@@ -149,9 +236,38 @@ def _require_campaign_dir(directory: str) -> Path | None:
 
 
 def _load_state(directory: Path) -> CampaignState:
-    journal = Journal(directory)
+    journal = Journal(directory, readonly=True)
     try:
         return CampaignState.load(journal)
+    finally:
+        journal.close()
+
+
+def _load_journal_view(
+    directory: Path,
+) -> tuple[CampaignState, list[dict], list[float]]:
+    """Read-only (state, records, compaction stamps) for observers.
+
+    ``records`` are the journal records *after* the snapshot — a compacted
+    journal's folded history lives only in the snapshot, so trace/report
+    panels built from records cover what the journal still holds (the
+    snapshot's ``compacted_ts`` marks the fold point).
+    """
+    journal = Journal(directory, readonly=True)
+    try:
+        snapshot = journal.load_snapshot()
+        records, last_seq = journal.replay()
+        if snapshot is not None:
+            state = CampaignState.from_payload(snapshot["state"])
+        else:
+            state = CampaignState()
+        for record in records:
+            state.apply(record)
+        state.last_seq = last_seq
+        compactions = []
+        if snapshot is not None and snapshot.get("compacted_ts") is not None:
+            compactions.append(float(snapshot["compacted_ts"]))
+        return state, records, compactions
     finally:
         journal.close()
 
@@ -209,7 +325,9 @@ def _run_or_resume(args: argparse.Namespace, spec_path: str | None) -> int:
     if streaming:
         bus = obs.enable_events()
         if args.progress:
-            renderer = obs.ProgressRenderer()
+            from repro.campaign.telemetry import FleetRenderer
+
+            renderer = FleetRenderer()
             bus.subscribe(renderer)
         if args.events:
             try:
@@ -280,6 +398,49 @@ def _run_or_resume(args: argparse.Namespace, spec_path: str | None) -> int:
     return 1 if counts.get(QUARANTINED, 0) else 0
 
 
+def _render_status(state: CampaignState) -> list[str]:
+    """The status table as lines (shared by one-shot and --follow)."""
+    if state.stopped_before_start:
+        # A stop can be journalled before any campaign record (SIGINT while
+        # the spec was still loading): the journal is valid, the campaign
+        # just never started.
+        return [
+            f"campaign stopped before any job started "
+            f"(stop reason: {state.stop_reason}); resume will wait for a "
+            "spec submission"
+        ]
+    counts = state.counts()
+    flags = []
+    if state.finished:
+        flags.append("finished")
+    if state.stopped:
+        flags.append(f"stopped ({state.stop_reason})")
+    lines = [
+        f"campaign {state.name!r}: {len(state.jobs)} job(s)"
+        + (f"  [{', '.join(flags)}]" if flags else "")
+    ]
+    header = f"{'job':<18} {'status':<12} {'att':>3} {'prio':>4}  detail"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for job_id in state.job_order:
+        job = state.jobs[job_id]
+        if job.status == DONE:
+            detail = "cache" if job.cached else "computed"
+            if job.result_sha:
+                detail += f"  sha={job.result_sha[:12]}"
+        else:
+            detail = job.last_error or ""
+        lines.append(
+            f"{job.job_id:<18} {job.status:<12} {job.attempts:>3} "
+            f"{job.priority:>4}  {detail}"
+        )
+    lines.append(
+        f"totals: {counts[DONE]} done, {counts[PENDING]} pending, "
+        f"{counts[LEASED]} leased, {counts[QUARANTINED]} quarantined"
+    )
+    return lines
+
+
 def _status(args: argparse.Namespace) -> int:
     home = _require_campaign_dir(args.dir)
     if home is None:
@@ -289,35 +450,190 @@ def _status(args: argparse.Namespace) -> int:
     except (JournalCorruptError, JournalError) as exc:
         print(f"error: cannot load campaign: {exc}", file=sys.stderr)
         return 2
-    counts = state.counts()
-    flags = []
-    if state.finished:
-        flags.append("finished")
-    if state.stopped:
-        flags.append(f"stopped ({state.stop_reason})")
-    print(
-        f"campaign {state.name!r}: {len(state.jobs)} job(s)"
-        + (f"  [{', '.join(flags)}]" if flags else "")
-    )
-    header = f"{'job':<18} {'status':<12} {'att':>3} {'prio':>4}  detail"
-    print(header)
-    print("-" * len(header))
-    for job_id in state.job_order:
-        job = state.jobs[job_id]
-        if job.status == DONE:
-            detail = "cache" if job.cached else "computed"
-            if job.result_sha:
-                detail += f"  sha={job.result_sha[:12]}"
-        else:
-            detail = job.last_error or ""
-        print(
-            f"{job.job_id:<18} {job.status:<12} {job.attempts:>3} "
-            f"{job.priority:>4}  {detail}"
+    print("\n".join(_render_status(state)))
+    if not args.follow:
+        return 0
+    if args.interval <= 0:
+        print("error: --interval must be positive", file=sys.stderr)
+        return 2
+    # Follow mode: poll the journal read-only and re-render on change until
+    # the campaign reaches a terminal state.  The journal is the only
+    # channel — this works from any process, needs no event bus, and never
+    # writes (a live supervisor stays the single writer).
+    last_seq = state.last_seq
+    try:
+        while not (state.finished or state.stopped or
+                   (state.jobs and state.complete)):
+            time.sleep(args.interval)
+            try:
+                state = _load_state(home)
+            except (JournalCorruptError, JournalError) as exc:
+                print(
+                    f"error: cannot load campaign: {exc}", file=sys.stderr
+                )
+                return 2
+            if state.last_seq == last_seq:
+                continue
+            last_seq = state.last_seq
+            print()
+            print("\n".join(_render_status(state)))
+    except KeyboardInterrupt:
+        print()  # leave the table on its own line
+    return 0
+
+
+def _read_event_records(path: str) -> list[dict] | None:
+    """JSONL event records from a ``--events`` stream (None on I/O error)."""
+    records: list[dict] = []
+    try:
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail of a killed writer
+                if isinstance(record, dict):
+                    records.append(record)
+    except OSError as exc:
+        print(f"error: cannot read events file {path}: {exc}",
+              file=sys.stderr)
+        return None
+    return records
+
+
+def _trace(args: argparse.Namespace) -> int:
+    home = _require_campaign_dir(args.dir)
+    if home is None:
+        return 2
+    try:
+        _state, records, compactions = _load_journal_view(home)
+    except (JournalCorruptError, JournalError) as exc:
+        print(f"error: cannot load campaign: {exc}", file=sys.stderr)
+        return 2
+    events = None
+    if args.events:
+        events = _read_event_records(args.events)
+        if events is None:
+            return 2
+    from repro.obs.export import write_campaign_trace
+
+    out = args.out or str(home / "trace.json")
+    try:
+        count = write_campaign_trace(
+            out, records, events=events, compactions=compactions
         )
+    except OSError as exc:
+        print(f"error: cannot write trace {out}: {exc}", file=sys.stderr)
+        return 2
     print(
-        f"totals: {counts[DONE]} done, {counts[PENDING]} pending, "
-        f"{counts[LEASED]} leased, {counts[QUARANTINED]} quarantined"
+        f"wrote {count} trace event(s) to {out} "
+        "(open in chrome://tracing or ui.perfetto.dev)"
     )
+    return 0
+
+
+def _campaign_manifests(home: Path, results_root: Path) -> list:
+    """Every per-job manifest a campaign left behind.
+
+    The supervisor appends to ``<dir>/manifests.jsonl``; jobs served from a
+    *shared* result store may have journalled theirs next to the result
+    payload instead, so the store is searched too.
+    """
+    from repro.obs.manifest import read_manifests
+
+    paths = [home / "manifests.jsonl"]
+    if results_root.is_dir():
+        paths.extend(sorted(results_root.rglob("manifests.jsonl")))
+    manifests = []
+    for path in paths:
+        if not path.is_file():
+            continue
+        try:
+            manifests.extend(read_manifests(str(path)))
+        except Exception as exc:
+            print(
+                f"warning: skipping unreadable manifests {path}: {exc}",
+                file=sys.stderr,
+            )
+    return manifests
+
+
+def _report(args: argparse.Namespace) -> int:
+    from repro.obs.campaign_html import (
+        DEFAULT_TOLERANCE,
+        campaign_regressions,
+        write_campaign_report,
+    )
+
+    home = _require_campaign_dir(args.dir)
+    if home is None:
+        return 2
+    tolerance = DEFAULT_TOLERANCE if args.tolerance is None else args.tolerance
+    if tolerance <= 0:
+        print("error: --tolerance must be positive", file=sys.stderr)
+        return 2
+    try:
+        state, records, _compactions = _load_journal_view(home)
+    except (JournalCorruptError, JournalError) as exc:
+        print(f"error: cannot load campaign: {exc}", file=sys.stderr)
+        return 2
+    base_records = None
+    if args.baseline:
+        base_home = _require_campaign_dir(args.baseline)
+        if base_home is None:
+            return 2
+        try:
+            _, base_records, _ = _load_journal_view(base_home)
+        except (JournalCorruptError, JournalError) as exc:
+            print(
+                f"error: cannot load baseline campaign: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+    results_root = Path(
+        args.results_dir if args.results_dir else home / "results"
+    )
+    manifests = _campaign_manifests(home, results_root)
+    out = args.out or str(home / "report.html")
+    try:
+        size = write_campaign_report(
+            out,
+            state.to_payload(),
+            records,
+            manifests=manifests,
+            base_records=base_records,
+            tolerance=tolerance,
+            source=str(home),
+        )
+    except OSError as exc:
+        print(f"error: cannot write report {out}: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"wrote campaign report ({size} bytes, {len(state.jobs)} job(s), "
+        f"{len(manifests)} manifest(s)) to {out}"
+    )
+    if base_records is None:
+        return 0
+    rows = campaign_regressions(records, base_records, tolerance)
+    regressed = [r for r in rows if r["regressed"]]
+    for row in rows:
+        verdict = "REGRESSED" if row["regressed"] else "ok"
+        print(
+            f"  {row['job'][:18]:<18} {row['base_s']:.3f}s -> "
+            f"{row['current_s']:.3f}s  ({row['ratio']:.2f}x)  {verdict}"
+        )
+    if not rows:
+        print("  (no job computed in both campaigns; nothing to compare)")
+    if regressed:
+        print(
+            f"{len(regressed)} job(s) slower than {tolerance:g}x baseline",
+            file=sys.stderr,
+        )
+        if args.gate:
+            return 1
     return 0
 
 
@@ -404,6 +720,10 @@ def campaign_main(argv: list[str] | None = None) -> int:
         return _run_or_resume(args, None)
     if args.command == "status":
         return _status(args)
+    if args.command == "trace":
+        return _trace(args)
+    if args.command == "report":
+        return _report(args)
     if args.command == "gc":
         return _gc(args)
     if args.command == "compact":

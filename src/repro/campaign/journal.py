@@ -33,6 +33,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 import warnings
 from pathlib import Path
 from typing import IO
@@ -68,8 +69,17 @@ def _frame_digest(seq: int, record_json: str) -> str:
 class Journal:
     """The write-ahead journal (and snapshot) of one campaign directory."""
 
-    def __init__(self, directory: str | Path):
+    def __init__(self, directory: str | Path, readonly: bool = False):
+        """Open the journal of ``directory``.
+
+        ``readonly=True`` opens for replay only: no tail repair, no appends,
+        no directory creation side effects beyond the home itself.  This is
+        what observers (``campaign status --follow``, ``trace``, ``report``)
+        use while a live supervisor — the single writer — may still be
+        appending: a read-only open must never touch the file.
+        """
         self.dir = Path(directory)
+        self.readonly = readonly
         try:
             self.dir.mkdir(parents=True, exist_ok=True)
         except OSError as exc:
@@ -79,7 +89,7 @@ class Journal:
         self.path = self.dir / JOURNAL_NAME
         self.snapshot_path = self.dir / SNAPSHOT_NAME
         self._handle: IO[str] | None = None
-        self._next_seq = self._recover_next_seq()
+        self._next_seq = -1 if readonly else self._recover_next_seq()
 
     # -- write path ----------------------------------------------------
     def _open(self) -> IO[str]:
@@ -101,6 +111,10 @@ class Journal:
         mangle the write to simulate a torn (``truncate``) or bit-flipped
         (``corrupt``) line.
         """
+        if self.readonly:
+            raise JournalError(
+                f"journal {self.path} was opened read-only"
+            )
         record_json = json.dumps(record, sort_keys=True)
         seq = self._next_seq
         line = (
@@ -277,6 +291,10 @@ class Journal:
         pair: snapshot-then-full-journal replays are de-duplicated by
         sequence number.
         """
+        if self.readonly:
+            raise JournalError(
+                f"journal {self.path} was opened read-only"
+            )
         self.close()
         _records, last_seq = self.replay()
         blob = json.dumps(state_payload, sort_keys=True)
@@ -285,6 +303,10 @@ class Journal:
             "last_seq": last_seq,
             "state": state_payload,
             "state_sha256": hashlib.sha256(blob.encode()).hexdigest(),
+            # Wall-clock of the compaction: the campaign trace exporter
+            # places a "journal compacted" marker here.  Outside the digest
+            # on purpose — old snapshots without it stay verifiable.
+            "compacted_ts": round(time.time(), 6),
         }
         tmp = self.snapshot_path.with_suffix(".json.tmp")
         try:
@@ -350,4 +372,8 @@ class Journal:
             raise JournalCorruptError(
                 f"{self.snapshot_path}: snapshot last_seq missing"
             )
-        return {"last_seq": payload["last_seq"], "state": state}
+        return {
+            "last_seq": payload["last_seq"],
+            "state": state,
+            "compacted_ts": payload.get("compacted_ts"),
+        }

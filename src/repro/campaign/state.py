@@ -113,6 +113,17 @@ class CampaignState:
             job.status in (DONE, QUARANTINED) for job in self.jobs.values()
         )
 
+    @property
+    def stopped_before_start(self) -> bool:
+        """True for a journal holding a ``stop`` but no jobs at all.
+
+        A clean SIGINT can land before any campaign record is journalled
+        (``campaign run`` interrupted while loading the spec): the journal
+        then holds only the stop record, which must read as "stopped before
+        start", not as an empty campaign.
+        """
+        return self.stopped and not self.jobs
+
     # -- construction ---------------------------------------------------
     @classmethod
     def load(cls, journal: Journal) -> "CampaignState":

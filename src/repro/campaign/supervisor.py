@@ -57,7 +57,14 @@ from repro.campaign.spec import CampaignSpec, config_from_dict
 from repro.campaign.state import DONE, CampaignState, campaign_record
 from repro.campaign.store import ResultStore, result_record
 from repro.experiments import run_experiment
-from repro.obs.events import CampaignEvent, RetryEvent
+from repro.obs.events import (
+    BoundedEventBuffer,
+    CampaignEvent,
+    Event,
+    JobEvent,
+    RetryEvent,
+    read_event_envelopes,
+)
 from repro.obs.manifest import RunManifest
 from repro.resilience import chaos
 from repro.resilience.errors import FailureKind, classify_failure
@@ -98,12 +105,22 @@ def _run_campaign_job(
     attempt: int,
     hb_path: str | None,
     hb_interval: float,
+    events_path: str | None = None,
+    telemetry: bool = False,
 ) -> dict[str, object]:
     """Execute one job in a worker: run the experiment, return its record.
 
     The ``campaign.job`` chaos point fires *before* the heartbeat thread
     starts, so an injected ``sleep`` models the worst hang — a worker that
     never reports liveness at all.
+
+    With ``events_path`` the job runs under a fresh in-process event bus
+    whose events ship back through a :class:`BoundedEventBuffer` envelope
+    file (the pool half of the campaign event bridge); ``telemetry`` runs
+    the job under a fresh metrics registry and returns its counter snapshot
+    in the payload (``"counters"``).  Both save and restore the module-level
+    obs state, so the inline mode (``max_workers=0``, sharing the
+    supervisor's process) never clobbers the parent's collectors.
     """
     chaos.maybe_inject("campaign.job", key=job_id, attempt=attempt)
     stop = threading.Event()
@@ -119,20 +136,80 @@ def _run_campaign_job(
             daemon=True,
         )
         thread.start()
+    prev_bus = obs.event_bus()
+    prev_collector, prev_registry = obs.collector(), obs.registry()
+    buffer: BoundedEventBuffer | None = None
+    if events_path is not None:
+        bus = obs.enable_events()
+        buffer = BoundedEventBuffer(
+            events_path,
+            tags={
+                "job": job_id,
+                "attempt": attempt,
+                "worker_pid": os.getpid(),
+            },
+        )
+        bus.subscribe(buffer)
+    fresh_registry = None
+    if telemetry or events_path is not None:
+        _collector, fresh_registry = obs.enable()
     try:
         config = config_from_dict(dict(config_dict))
         t0 = time.perf_counter()
         result = run_experiment(config)
-        return {
+        payload: dict[str, object] = {
             "record": result_record(result),
             "wall_s": time.perf_counter() - t0,
             "worker_pid": os.getpid(),
             "engine": dict(result.engine),
         }
+        if fresh_registry is not None:
+            payload["counters"] = fresh_registry.snapshot()["counters"]
+        return payload
     finally:
         stop.set()
         if thread is not None:
             thread.join(timeout=1.0)
+        if buffer is not None:
+            buffer.close()
+        if events_path is not None:
+            if prev_bus is not None:
+                obs.enable_events(prev_bus)
+            else:
+                obs.disable_events()
+        if fresh_registry is not None:
+            if prev_collector is not None and prev_registry is not None:
+                obs.enable(prev_collector, prev_registry)
+            else:
+                obs.disable()
+
+
+class _InlineForwarder:
+    """Re-publish an inline job's events on the parent bus, tagged.
+
+    The inline twin of the envelope-file bridge: events published while an
+    inline job runs land on a private bus, and this forwarder wraps each one
+    in a :class:`JobEvent` (job id, config hash, pid) before handing it to
+    the supervisor's own bus — so ``--events`` streams and renderers see one
+    merged, tagged feed regardless of pool width.
+    """
+
+    def __init__(self, job_id: str, pid: int, parent_bus: object) -> None:
+        self.job_id = job_id
+        self.pid = pid
+        self.parent_bus = parent_bus
+
+    def __call__(self, event: Event) -> None:
+        self.parent_bus.publish(  # type: ignore[attr-defined]
+            JobEvent(
+                job=self.job_id,
+                config_hash=self.job_id,
+                worker_pid=self.pid,
+                inner=event.to_record(),
+                ts=event.ts,
+                ts_mono=event.ts_mono,
+            )
+        )
 
 
 # ----------------------------------------------------------------------
@@ -148,6 +225,10 @@ class _Lease:
     hb_path: Path | None
     last_hb: str = ""
     last_progress_mono: float = 0.0
+    #: Worker-side event envelope channel (None = telemetry off).
+    events_path: Path | None = None
+    events_offset: int = 0
+    events_dropped: int = 0
 
     def __post_init__(self) -> None:
         if not self.last_progress_mono:
@@ -253,6 +334,10 @@ class CampaignSupervisor:
         return [j.job_id for j in jobs if j.job_id not in known]
 
     def _append(self, record: dict) -> None:
+        # Stamp a wall clock into every journalled transition: replay
+        # ignores unknown keys (state stays a pure fold), but the campaign
+        # trace/gantt can then be rebuilt from the journal alone.
+        record.setdefault("ts", round(time.time(), 6))
         seq = self.journal.append(record)
         self.state.apply(record)
         self.state.last_seq = seq
@@ -335,6 +420,8 @@ class CampaignSupervisor:
                     timeout=self.poll_interval,
                     return_when=FIRST_COMPLETED,
                 )
+                for lease in in_flight.values():
+                    self._pump_lease_events(lease)
                 # Expiry first, harvest second: a chaos-forced ``expire``
                 # must win even when the worker already finished, or the
                 # reclaim path would depend on worker speed.
@@ -412,6 +499,10 @@ class CampaignSupervisor:
             if self.lease_timeout is not None
             else 1.0
         )
+        events_path: Path | None = None
+        if obs.events_enabled():
+            events_path = hb_dir / f"{lease_id}.events.jsonl"
+            events_path.unlink(missing_ok=True)
         pool = self._ensure_pool()
         try:
             future = pool.submit(
@@ -421,6 +512,8 @@ class CampaignSupervisor:
                 attempt,
                 str(hb_path),
                 interval,
+                str(events_path) if events_path is not None else None,
+                events_path is not None,
             )
         except Exception as exc:  # pool broke at submission
             self._handle_failure(job_id, attempt, exc, {})
@@ -432,6 +525,7 @@ class CampaignSupervisor:
             attempt=attempt,
             granted_mono=time.monotonic(),
             hb_path=hb_path,
+            events_path=events_path,
         )
         return True
 
@@ -451,13 +545,30 @@ class CampaignSupervisor:
         )
         obs.inc("pipeline.cache_miss")
         self._emit_campaign(job_id, "lease", attempt=attempt)
+        # Inline jobs share the supervisor's process: swap in a fresh bus so
+        # the job's own events can be re-published *tagged* on the parent
+        # bus (the same JobEvent envelope pool workers ship through files).
+        parent_bus = obs.event_bus()
+        if parent_bus is not None:
+            fresh = obs.enable_events()
+            fresh.subscribe(
+                _InlineForwarder(job_id, os.getpid(), parent_bus)
+            )
         try:
             payload = _run_campaign_job(
-                job_id, dict(job.config), attempt, None, 1.0
+                job_id,
+                dict(job.config),
+                attempt,
+                None,
+                1.0,
+                telemetry=parent_bus is not None,
             )
         except Exception as exc:
             self._handle_failure(job_id, attempt, exc, backoff_until)
             return
+        finally:
+            if parent_bus is not None:
+                obs.enable_events(parent_bus)
         self._complete_job(job_id, payload)
 
     def _finish_lease(
@@ -478,28 +589,41 @@ class CampaignSupervisor:
                 self._degrade_pool(f"pool broke: {exc}")
             return
         finally:
-            if lease.hb_path is not None:
-                lease.hb_path.unlink(missing_ok=True)
+            self._close_lease_channel(lease)
         self._complete_job(lease.job_id, payload)
 
     def _complete_job(self, job_id: str, payload: dict[str, object]) -> None:
         record = payload["record"]
         assert isinstance(record, dict)
         sha = self.store.save(job_id, record)
+        wall_s = round(float(payload.get("wall_s", 0.0)), 6)
         self._append(
             {
                 "type": "done",
                 "job": job_id,
                 "cached": False,
                 "result_sha": sha,
-                "wall_s": round(float(payload.get("wall_s", 0.0)), 6),
+                "wall_s": wall_s,
                 "worker_pid": payload.get("worker_pid"),
             }
         )
         self._write_manifest(job_id, record, cache="miss")
         obs.inc("campaign.jobs_done")
         self._report.jobs_computed += 1
-        self._emit_campaign(job_id, "done", result_sha=sha)
+        self._emit_campaign(
+            job_id,
+            "done",
+            result_sha=sha,
+            wall_s=wall_s,
+            worker_pid=payload.get("worker_pid"),
+        )
+        counters = payload.get("counters")
+        if isinstance(counters, dict) and counters:
+            # The job's own counter snapshot, from the fresh per-job
+            # registry: deterministic for a deterministic config, so a
+            # resumed campaign's merged stream carries counters
+            # bit-identical to an uninterrupted run's.
+            self._emit_campaign(job_id, "counters", counters=counters)
 
     # -- failure handling -----------------------------------------------
     def _handle_failure(
@@ -568,6 +692,58 @@ class CampaignSupervisor:
             stacklevel=2,
         )
 
+    # -- the event bridge (pool workers -> parent bus) --------------------
+    def _pump_lease_events(self, lease: _Lease) -> None:
+        """Re-publish a worker's shipped events, tagged, on the parent bus.
+
+        Reads the newline-terminated envelopes appended to the lease's
+        channel file since the last pump and re-publishes every wrapped
+        event as a :class:`JobEvent`.  Envelope drop counters are surfaced —
+        a ``campaign.worker_events_dropped`` counter plus an
+        ``events_dropped`` campaign event — never swallowed.
+        """
+        if lease.events_path is None:
+            return
+        envelopes, lease.events_offset = read_event_envelopes(
+            str(lease.events_path), lease.events_offset
+        )
+        for envelope in envelopes:
+            tags = envelope.get("tags") or {}
+            pid = tags.get("worker_pid")
+            for record in envelope.get("events", ()):
+                if not isinstance(record, dict):
+                    continue
+                obs.emit(
+                    JobEvent(
+                        job=lease.job_id,
+                        config_hash=lease.job_id,
+                        worker_pid=pid if isinstance(pid, int) else None,
+                        inner=record,
+                        ts=float(record.get("ts", 0.0) or 0.0),
+                        ts_mono=float(record.get("ts_mono", 0.0) or 0.0),
+                    )
+                )
+            dropped = envelope.get("dropped")
+            if isinstance(dropped, int) and dropped > lease.events_dropped:
+                delta = dropped - lease.events_dropped
+                lease.events_dropped = dropped
+                obs.inc("campaign.worker_events_dropped", delta)
+                self._emit_campaign(
+                    lease.job_id,
+                    "events_dropped",
+                    dropped=dropped,
+                    new=delta,
+                )
+
+    def _close_lease_channel(self, lease: _Lease) -> None:
+        """Final drain of a finished/reclaimed lease's files, then cleanup."""
+        self._pump_lease_events(lease)
+        if lease.hb_path is not None:
+            lease.hb_path.unlink(missing_ok=True)
+        if lease.events_path is not None:
+            lease.events_path.unlink(missing_ok=True)
+            lease.events_path = None
+
     # -- leases ----------------------------------------------------------
     def _check_leases(
         self,
@@ -628,8 +804,7 @@ class CampaignSupervisor:
             obs.inc("campaign.leases_reclaimed")
             self._report.leases_reclaimed += 1
             self._emit_campaign(lease.job_id, "reclaim", reason=reason)
-            if lease.hb_path is not None:
-                lease.hb_path.unlink(missing_ok=True)
+            self._close_lease_channel(lease)
             job = self.state.jobs[lease.job_id]
             if job.attempts >= job.max_attempts:
                 self._quarantine(

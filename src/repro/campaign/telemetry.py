@@ -1,0 +1,282 @@
+"""Live fleet telemetry for campaign runs (``--progress`` / ``--follow``).
+
+The supervisor re-publishes worker events on its own bus tagged as
+:class:`~repro.obs.events.JobEvent` and narrates scheduling through
+:class:`~repro.obs.events.CampaignEvent`.  :class:`FleetRenderer`
+subscribes to that merged stream and renders the *fleet*: one row per
+in-flight job (stage, progress, lease attempt) plus a campaign footer
+(done/cached/quarantined counts, throughput, an EWMA-based ETA).
+
+On a TTY the table redraws in place (ANSI cursor-up); otherwise it prints
+throttled single-line summaries so CI logs stay readable.  Like every
+sink, the renderer is advisory — it never raises into the bus (a broken
+terminal must not take the supervisor down).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import TextIO
+
+from repro.obs.events import (
+    CampaignEvent,
+    Event,
+    JobEvent,
+    ProgressEvent,
+    RetryEvent,
+    StageEvent,
+    _fmt_eta,
+)
+
+__all__ = ["FleetRenderer"]
+
+#: Max job rows drawn on a TTY before the table elides to "… and N more".
+_MAX_ROWS = 12
+
+#: Terminal campaign-event actions, mapped to the status column they set.
+_TERMINAL_STATUS = {
+    "done": "done",
+    "cached": "cached",
+    "quarantine": "quarantined",
+}
+
+
+@dataclass
+class _JobRow:
+    """Everything the renderer knows about one job."""
+
+    job_id: str
+    status: str = "pending"  # pending|running|done|cached|quarantined
+    attempt: int = 0
+    stage: str = ""
+    completed: float = 0.0
+    total: float | None = None
+    unit: str = ""
+    worker_pid: int | None = None
+    retries: int = 0
+    dropped: int = 0
+    wall_s: float | None = None
+    last_update: float = field(default_factory=time.monotonic)
+
+    @property
+    def active(self) -> bool:
+        return self.status == "running"
+
+
+class FleetRenderer:
+    """Terminal renderer for the merged campaign event stream.
+
+    ``total_jobs`` seeds the footer's x/N completion counter (discovered
+    from lease events when omitted).  The campaign ETA is ``remaining jobs
+    × EWMA(job wall) / active leases`` — the same EWMA discipline
+    :class:`~repro.obs.events.ProgressRenderer` applies to chunk latencies,
+    lifted one level up to whole jobs.
+    """
+
+    def __init__(
+        self,
+        total_jobs: int | None = None,
+        stream: TextIO | None = None,
+        alpha: float = 0.4,
+        min_interval: float = 0.5,
+        clock=time.monotonic,
+    ):
+        self.stream = stream if stream is not None else sys.stderr
+        self.total_jobs = total_jobs
+        self.alpha = alpha
+        self.min_interval = min_interval
+        self._clock = clock
+        self._jobs: dict[str, _JobRow] = {}
+        self._ewma_wall: float | None = None
+        self._started = clock()
+        self._last_render = 0.0
+        self._drawn_lines = 0
+        self._notes: list[str] = []
+        try:
+            self._tty = bool(self.stream.isatty())
+        except (AttributeError, ValueError):
+            self._tty = False
+
+    # -- state folding ------------------------------------------------------
+    def _row(self, job_id: str) -> _JobRow:
+        row = self._jobs.get(job_id)
+        if row is None:
+            row = self._jobs[job_id] = _JobRow(job_id=job_id)
+        return row
+
+    def _apply_campaign(self, event: CampaignEvent) -> None:
+        if event.job == "-":
+            if event.action in ("stop", "degrade"):
+                reason = event.data.get("reason", "")
+                self._notes.append(f"{event.action}: {reason}")
+            return
+        row = self._row(event.job)
+        row.last_update = self._clock()
+        if event.action == "lease":
+            row.status = "running"
+            attempt = event.data.get("attempt")
+            if isinstance(attempt, int):
+                row.attempt = attempt
+        elif event.action in _TERMINAL_STATUS:
+            row.status = _TERMINAL_STATUS[event.action]
+            wall = event.data.get("wall_s")
+            if isinstance(wall, (int, float)) and wall > 0:
+                row.wall_s = float(wall)
+                self._ewma_wall = (
+                    float(wall)
+                    if self._ewma_wall is None
+                    else self.alpha * float(wall)
+                    + (1 - self.alpha) * self._ewma_wall
+                )
+        elif event.action == "reclaim":
+            row.status = "reclaimed"
+            row.stage = ""
+        elif event.action == "events_dropped":
+            dropped = event.data.get("dropped")
+            if isinstance(dropped, int):
+                row.dropped = dropped
+
+    def _apply_job(self, event: JobEvent) -> None:
+        row = self._row(event.job)
+        row.last_update = self._clock()
+        if event.worker_pid is not None:
+            row.worker_pid = event.worker_pid
+        inner = event.inner
+        kind = event.inner_type
+        if kind == "ProgressEvent":
+            row.stage = str(inner.get("stage", row.stage))
+            completed = inner.get("completed")
+            if isinstance(completed, (int, float)):
+                row.completed = float(completed)
+            total = inner.get("total")
+            row.total = float(total) if isinstance(total, (int, float)) else None
+            row.unit = str(inner.get("unit", row.unit))
+        elif kind == "StageEvent":
+            if inner.get("status") == "start":
+                row.stage = str(inner.get("stage", row.stage))
+                row.completed, row.total = 0.0, None
+
+    # -- counts -------------------------------------------------------------
+    def _counts(self) -> dict[str, int]:
+        counts = {"done": 0, "cached": 0, "quarantined": 0, "running": 0}
+        for row in self._jobs.values():
+            if row.status in ("done", "cached"):
+                counts["done"] += 1
+            if row.status == "cached":
+                counts["cached"] += 1
+            elif row.status == "quarantined":
+                counts["quarantined"] += 1
+            elif row.status == "running":
+                counts["running"] += 1
+        return counts
+
+    def _footer(self) -> str:
+        counts = self._counts()
+        total = self.total_jobs or len(self._jobs)
+        parts = [f"{counts['done']}/{total} done"]
+        if counts["cached"]:
+            parts.append(f"{counts['cached']} cached")
+        if counts["quarantined"]:
+            parts.append(f"{counts['quarantined']} quarantined")
+        elapsed = max(1e-9, self._clock() - self._started)
+        if counts["done"]:
+            parts.append(f"{counts['done'] / elapsed:.2f} jobs/s")
+        remaining = max(0, total - counts["done"] - counts["quarantined"])
+        if remaining and self._ewma_wall is not None:
+            lanes = max(1, counts["running"])
+            parts.append(
+                f"eta {_fmt_eta(remaining * self._ewma_wall / lanes)}"
+            )
+        dropped = sum(row.dropped for row in self._jobs.values())
+        if dropped:
+            parts.append(f"{dropped} worker event(s) dropped")
+        return " · ".join(parts)
+
+    def _row_line(self, row: _JobRow) -> str:
+        parts = [f"{row.job_id[:12]:<12}", f"{row.status:<11}"]
+        parts.append(f"a{row.attempt}")
+        if row.worker_pid is not None:
+            parts.append(f"pid {row.worker_pid}")
+        if row.stage:
+            progress = f"[{row.stage}]"
+            if row.total:
+                progress += f" {row.completed:g}/{row.total:g} {row.unit}"
+            elif row.completed:
+                progress += f" {row.completed:g} {row.unit}"
+            parts.append(progress.rstrip())
+        if row.wall_s is not None:
+            parts.append(f"{row.wall_s:.2f}s")
+        if row.retries:
+            parts.append(f"{row.retries} retry(s)")
+        return "  ".join(parts)
+
+    # -- output -------------------------------------------------------------
+    def _render_tty(self) -> None:
+        # Redraw in place: move up over the previous frame, clear each line.
+        rows = sorted(
+            self._jobs.values(),
+            key=lambda r: (not r.active, -r.last_update),
+        )
+        lines = [self._row_line(row) for row in rows[:_MAX_ROWS]]
+        if len(rows) > _MAX_ROWS:
+            lines.append(f"… and {len(rows) - _MAX_ROWS} more job(s)")
+        lines.extend(self._notes[-2:])
+        lines.append(self._footer())
+        up = f"\x1b[{self._drawn_lines}A" if self._drawn_lines else ""
+        body = "".join(f"\x1b[2K{line}\n" for line in lines)
+        self.stream.write(up + body)
+        self.stream.flush()
+        self._drawn_lines = len(lines)
+
+    def _render_log(self) -> None:
+        self.stream.write(self._footer() + "\n")
+        self.stream.flush()
+
+    def _maybe_render(self, force: bool = False) -> None:
+        now = self._clock()
+        if not force and now - self._last_render < self.min_interval:
+            return
+        self._last_render = now
+        try:
+            if self._tty:
+                self._render_tty()
+            else:
+                self._render_log()
+        except (OSError, ValueError):
+            # A vanished/closed terminal must not unsubscribe the renderer
+            # or disturb the supervisor; state keeps folding silently.
+            pass
+
+    def __call__(self, event: Event) -> None:
+        if isinstance(event, CampaignEvent):
+            self._apply_campaign(event)
+            # Scheduling transitions always render: they are rare and they
+            # are the moments a human watches for.
+            self._maybe_render(force=event.action != "counters")
+        elif isinstance(event, JobEvent):
+            self._apply_job(event)
+            self._maybe_render()
+        elif isinstance(event, RetryEvent) and event.point == "campaign.job":
+            self._row(str(event.key)).retries = event.attempt
+            self._notes.append(
+                f"retry {str(event.key)[:12]}: {event.reason}"
+            )
+            self._maybe_render(force=True)
+        elif isinstance(event, (ProgressEvent, StageEvent)):
+            # Inline campaigns (max_workers=0) publish untagged events on
+            # the same bus; the fleet view ignores them — the per-job view
+            # arrives via the tagged JobEvent republication.
+            return
+
+    def close(self) -> None:
+        """Draw the final frame (always) and release the live region."""
+        try:
+            if self._tty:
+                self._render_tty()
+                self._drawn_lines = 0
+            else:
+                self._render_log()
+        except (OSError, ValueError):
+            pass

@@ -25,10 +25,12 @@ Naming scheme (see ``docs/OBSERVABILITY.md``): dotted lower-case
 from __future__ import annotations
 
 from repro.obs.events import (
+    BoundedEventBuffer,
     CampaignEvent,
     CheckpointEvent,
     Event,
     EventBus,
+    JobEvent,
     JsonlEventSink,
     ListSink,
     ProgressEvent,
@@ -36,8 +38,14 @@ from repro.obs.events import (
     RetryEvent,
     StageEvent,
     event_from_record,
+    read_event_envelopes,
 )
-from repro.obs.export import chrome_trace, write_chrome_trace
+from repro.obs.export import (
+    campaign_chrome_trace,
+    chrome_trace,
+    write_campaign_trace,
+    write_chrome_trace,
+)
 from repro.obs.manifest import (
     MANIFEST_SCHEMA_VERSION,
     RunManifest,
@@ -88,12 +96,17 @@ __all__ = [
     "RetryEvent",
     "CheckpointEvent",
     "CampaignEvent",
+    "JobEvent",
     "JsonlEventSink",
     "ListSink",
+    "BoundedEventBuffer",
     "ProgressRenderer",
     "event_from_record",
+    "read_event_envelopes",
     "chrome_trace",
     "write_chrome_trace",
+    "campaign_chrome_trace",
+    "write_campaign_trace",
 ]
 
 _collector: TraceCollector | None = None

@@ -1,0 +1,643 @@
+"""Self-contained HTML sweep report over a campaign directory.
+
+``python -m repro campaign report`` renders one HTML file from the durable
+artifacts a campaign leaves behind — the journal, the per-job manifests and
+the content-addressed result store — with nothing but the journal strictly
+required.  Panels:
+
+* **Campaign summary** — job counts, attempts, wall clock, terminal state;
+* **Job gantt** — every lease interval on a timeline built from journal
+  wall clocks, reclaimed/failed attempts highlighted;
+* **Sweep dimensions** — small multiples of final coverage and DL (ppm)
+  against each swept config axis, one chart per axis;
+* **Cache economics** — store hits vs computed runs and the estimated
+  simulation seconds the store saved;
+* **Retries & quarantines** — the campaign's failure timeline;
+* **Regression vs baseline** — per-job wall-time ratios against a previous
+  campaign directory (the ``obs check-bench`` contract: noise-scaled
+  tolerance, exit-1 gate in the CLI);
+* **Jobs** — the per-job ledger (status, attempts, result shas).
+
+Like :mod:`repro.obs.html` this module is stdlib-only and renders a
+complete standalone document — inline CSS/SVG, zero scripts, zero external
+requests.  Journals written before records carried wall clocks (pre
+``compacted_ts`` schema) degrade: the gantt and failure timeline fall back
+to explanatory notes instead of failing.
+"""
+
+from __future__ import annotations
+
+from html import escape
+from typing import TYPE_CHECKING, Sequence
+
+from repro.obs.html import (
+    _CSS,
+    _bar_chart,
+    _fmt_ppm,
+    _fmt_s,
+    _legend,
+    _line_chart,
+    _note,
+    _num,
+    _panel,
+    _tiles,
+    _timeline_rows,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.obs.manifest import RunManifest
+
+__all__ = [
+    "CAMPAIGN_PANEL_IDS",
+    "build_campaign_report",
+    "write_campaign_report",
+    "campaign_regressions",
+]
+
+#: Stable DOM ids, one per report section — CI asserts each renders.
+CAMPAIGN_PANEL_IDS = (
+    "panel-campaign-summary",
+    "panel-campaign-gantt",
+    "panel-campaign-sweep",
+    "panel-campaign-cache",
+    "panel-campaign-retries",
+    "panel-campaign-regression",
+    "panel-campaign-jobs",
+)
+
+#: Default noise multiplier for the regression gate (same contract as
+#: ``obs check-bench``): flag when current > tolerance × baseline.
+DEFAULT_TOLERANCE = 3.0
+
+
+# ---------------------------------------------------------------------------
+# Journal record digestion
+# ---------------------------------------------------------------------------
+def _record_ts(record: dict) -> float | None:
+    return _num(record.get("ts"))
+
+
+def _timebase(records: Sequence[dict]) -> tuple[float, float] | None:
+    """(t0, t1) wall-clock envelope, or None for a pre-``ts`` journal."""
+    stamps = [t for r in records if (t := _record_ts(r)) is not None]
+    if not stamps:
+        return None
+    return min(stamps), max(stamps)
+
+
+def _lease_intervals(records: Sequence[dict]) -> list[dict]:
+    """Lease → terminal-record intervals with wall clocks.
+
+    Returns ``{job, attempt, start, end, outcome, cached, reason}`` rows
+    (times absolute); a lease with no terminal record (the supervisor was
+    killed holding it) closes at the last journalled instant with outcome
+    ``"killed"``.
+    """
+    envelope = _timebase(records)
+    if envelope is None:
+        return []
+    open_leases: dict[str, tuple[float, int]] = {}
+    intervals: list[dict] = []
+    last = envelope[0]
+    for record in records:
+        ts = _record_ts(record)
+        last = ts if ts is not None else last
+        kind = record.get("type")
+        job_id = str(record.get("job", "-"))
+        if kind == "lease":
+            open_leases[job_id] = (last, int(record.get("attempt", 0)))
+        elif kind in ("done", "fail", "reclaim", "quarantine"):
+            started = open_leases.pop(job_id, None)
+            if started is None:
+                continue
+            intervals.append(
+                {
+                    "job": job_id,
+                    "attempt": started[1],
+                    "start": started[0],
+                    "end": last,
+                    "outcome": str(kind),
+                    "cached": bool(record.get("cached", False)),
+                    "reason": record.get("reason"),
+                }
+            )
+    for job_id, (t0, attempt) in open_leases.items():
+        intervals.append(
+            {
+                "job": job_id,
+                "attempt": attempt,
+                "start": t0,
+                "end": envelope[1],
+                "outcome": "killed",
+                "cached": False,
+                "reason": "no terminal record (supervisor died)",
+            }
+        )
+    return intervals
+
+
+def _computed_walls(records: Sequence[dict]) -> dict[str, float]:
+    """job -> wall seconds of its *computed* (non-cached) done record."""
+    walls: dict[str, float] = {}
+    for record in records:
+        if (
+            record.get("type") == "done"
+            and not record.get("cached")
+            and (wall := _num(record.get("wall_s"))) is not None
+        ):
+            walls[str(record.get("job"))] = wall
+    return walls
+
+
+# ---------------------------------------------------------------------------
+# Regression strip (check-bench contract over per-job wall times)
+# ---------------------------------------------------------------------------
+def campaign_regressions(
+    records: Sequence[dict],
+    base_records: Sequence[dict],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> list[dict]:
+    """Per-job wall-time comparison against a previous campaign's journal.
+
+    Only jobs *computed* in both campaigns compare (a cache hit measures
+    the store, not the pipeline).  Returns one row per common job:
+    ``{job, base_s, current_s, ratio, regressed}`` where ``regressed``
+    means current > tolerance × base — the ``obs check-bench`` contract.
+    """
+    current = _computed_walls(records)
+    base = _computed_walls(base_records)
+    rows = []
+    for job_id in sorted(set(current) & set(base)):
+        base_s = base[job_id]
+        current_s = current[job_id]
+        ratio = current_s / base_s if base_s > 0 else float("inf")
+        rows.append(
+            {
+                "job": job_id,
+                "base_s": base_s,
+                "current_s": current_s,
+                "ratio": ratio,
+                "regressed": current_s > tolerance * base_s,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Panels
+# ---------------------------------------------------------------------------
+def _summary_panel(state: dict, records: Sequence[dict]) -> str:
+    jobs = state.get("jobs", {})
+    statuses = [str(j.get("status")) for j in jobs.values()]
+    done = statuses.count("done")
+    quarantined = statuses.count("quarantined")
+    cached = sum(1 for j in jobs.values() if j.get("cached"))
+    attempts = sum(int(j.get("attempts", 0)) for j in jobs.values())
+    reclaims = sum(1 for r in records if r.get("type") == "reclaim")
+    retries = sum(1 for r in records if r.get("type") == "fail")
+    envelope = _timebase(records)
+    wall = _fmt_s(envelope[1] - envelope[0]) if envelope else "n/a"
+    if state.get("finished"):
+        status = "complete"
+    elif state.get("stopped"):
+        status = f"stopped ({state.get('stop_reason')})"
+    else:
+        status = "in flight"
+    body = _tiles(
+        (
+            (len(jobs), "jobs", "ink"),
+            (done, "done", "good" if done == len(jobs) else "ink"),
+            (cached, "served from store", "ink"),
+            (quarantined, "quarantined", "crit" if quarantined else "good"),
+            (attempts, "lease attempts", "ink"),
+            (retries, "transient failures", "crit" if retries else "ink"),
+            (reclaims, "lease reclaims", "crit" if reclaims else "ink"),
+            (wall, "journalled wall span", "ink"),
+        )
+    )
+    body += _note(f"campaign state: {status}")
+    caption = (
+        f"campaign {state.get('name', '?')}; wall span covers every "
+        "journalled record including resumes"
+    )
+    return _panel("panel-campaign-summary", "Campaign summary", body, caption)
+
+
+_OUTCOME_CLS = {"done": "s1", "fail": "s2", "reclaim": "s2",
+                "quarantine": "s2", "killed": "s2"}
+
+
+def _gantt_panel(records: Sequence[dict]) -> str:
+    intervals = _lease_intervals(records)
+    envelope = _timebase(records)
+    if not intervals or envelope is None:
+        return _panel(
+            "panel-campaign-gantt",
+            "Job gantt",
+            _note(
+                "journal records carry no wall clocks (campaign predates "
+                "timestamped records) — re-run under the current schema to "
+                "populate the gantt"
+            ),
+        )
+    t0, t1 = envelope
+    total = max(1e-9, t1 - t0)
+    rows = []
+    last_job = None
+    for iv in sorted(intervals, key=lambda iv: (iv["job"], iv["start"])):
+        outcome = iv["outcome"]
+        tip = (
+            f"{iv['job'][:16]} attempt {iv['attempt']}: {outcome} "
+            f"after {_fmt_s(iv['end'] - iv['start'])}"
+        )
+        if outcome == "reclaim":
+            tip += f" — lease reclaimed ({iv['reason']})"
+        elif iv["reason"]:
+            tip += f" ({iv['reason']})"
+        if iv["cached"]:
+            tip += " [store hit]"
+        rows.append(
+            {
+                "label": iv["job"][:16] if iv["job"] != last_job else "",
+                "start": iv["start"] - t0,
+                "dur": max(0.0, iv["end"] - iv["start"]),
+                "cls": _OUTCOME_CLS.get(outcome, "s1"),
+                "tip": tip,
+            }
+        )
+        last_job = iv["job"]
+    body = _legend(
+        [("completed lease", "s1"), ("reclaimed / failed / killed", "s2")]
+    )
+    body += _timeline_rows(rows, total)
+    caption = (
+        f"{len(intervals)} lease interval(s) from the journal wall clocks; "
+        "gaps are scheduling/backoff waits, a second bar on one job is a "
+        "retry or a post-crash resume"
+    )
+    return _panel("panel-campaign-gantt", "Job gantt", body, caption)
+
+
+def _sweep_axes(jobs: dict) -> dict[str, list]:
+    """Config keys that actually vary across jobs -> sorted distinct values."""
+    values: dict[str, set] = {}
+    for job in jobs.values():
+        config = job.get("config")
+        if not isinstance(config, dict):
+            continue
+        for key, value in config.items():
+            if isinstance(value, (bool, int, float, str)):
+                values.setdefault(key, set()).add(value)
+    axes = {k: v for k, v in values.items() if len(v) > 1}
+    return {
+        k: sorted(v, key=lambda x: (str(type(x)), x))
+        for k, v in sorted(axes.items())
+    }
+
+
+def _sweep_panel(state: dict, manifests: Sequence["RunManifest"]) -> str:
+    jobs = state.get("jobs", {})
+    axes = _sweep_axes(jobs)
+    if not axes:
+        return _panel(
+            "panel-campaign-sweep",
+            "Sweep dimensions",
+            _note("no swept config axis — every job shares one config"),
+        )
+    by_job: dict[str, "RunManifest"] = {}
+    for manifest in manifests:
+        job_id = manifest.results.get("job_id")
+        if isinstance(job_id, str):
+            by_job[job_id] = manifest  # latest manifest per job wins
+    if not by_job:
+        return _panel(
+            "panel-campaign-sweep",
+            "Sweep dimensions",
+            _note(
+                "swept axes: "
+                + ", ".join(axes)
+                + " — but no per-job manifests were found to plot against"
+            ),
+        )
+    charts: list[str] = []
+    for axis, _values in list(axes.items())[:3]:
+        t_points: list[tuple[float, float]] = []
+        dl_points: list[tuple[float, float]] = []
+        categorical: list[tuple[str, float]] = []
+        for job_id, job in jobs.items():
+            manifest = by_job.get(job_id)
+            config = job.get("config")
+            if manifest is None or not isinstance(config, dict):
+                continue
+            x_raw = config.get(axis)
+            final_t = _num(manifest.results.get("final_T"))
+            final_dl = _num(manifest.results.get("final_DL"))
+            x = _num(x_raw)
+            if x is not None:
+                if final_t is not None:
+                    t_points.append((x, final_t))
+                if final_dl is not None:
+                    dl_points.append((x, final_dl))
+            elif final_t is not None:
+                categorical.append((str(x_raw), final_t))
+        if t_points or dl_points:
+            svg = _legend([("coverage T", "s1"), ("DL (ppm)", "s2")])
+            svg += _line_chart(
+                [
+                    {
+                        "label": "T",
+                        "cls": "s1",
+                        "points": sorted(t_points),
+                        "markers": True,
+                    },
+                    {
+                        "label": "DL ppm",
+                        "cls": "s2",
+                        "points": sorted(
+                            (x, 1e6 * y) for x, y in dl_points
+                        ),
+                        "markers": True,
+                    },
+                ],
+                y_label="T / DL ppm",
+                tip=lambda label, x, y: f"{label} @ {axis}={x:g}: {y:.4g}",
+            )
+        elif categorical:
+            categorical.sort()
+            svg = _bar_chart(
+                [label for label, _ in categorical],
+                [value for _, value in categorical],
+                y_label="coverage T",
+                y_fmt=lambda v: f"{v:.3f}",
+            )
+        else:
+            svg = _note("no recorded results along this axis")
+        charts.append(f"<div><h3>{escape(axis)}</h3>{svg}</div>")
+    body = f'<div class="chart-grid">{"".join(charts)}</div>'
+    dropped = len(axes) - min(3, len(axes))
+    caption = (
+        f"{len(axes)} swept axis(es); final coverage and defect level per "
+        "job from the campaign's manifests"
+        + (f" — {dropped} further axis(es) not shown" if dropped else "")
+    )
+    return _panel("panel-campaign-sweep", "Sweep dimensions", body, caption)
+
+
+def _cache_panel(state: dict, records: Sequence[dict]) -> str:
+    jobs = state.get("jobs", {})
+    cached = sum(1 for j in jobs.values() if j.get("cached"))
+    walls = _computed_walls(records)
+    computed = len(walls)
+    mean_wall = sum(walls.values()) / computed if computed else 0.0
+    saved = cached * mean_wall
+    total = cached + computed
+    hit_rate = f"{100.0 * cached / total:.0f}%" if total else "n/a"
+    body = _tiles(
+        (
+            (cached, "store hits", "good" if cached else "ink"),
+            (computed, "computed", "ink"),
+            (hit_rate, "hit rate", "ink"),
+            (_fmt_s(mean_wall) if computed else "n/a",
+             "mean computed wall", "ink"),
+            (_fmt_s(saved) if total else "n/a",
+             "est. sim-seconds saved", "good" if saved else "ink"),
+        )
+    )
+    caption = (
+        "savings estimate = store hits × mean computed wall of this "
+        "campaign — an estimate, not a measurement (the avoided runs were "
+        "never timed)"
+    )
+    return _panel("panel-campaign-cache", "Cache economics", body, caption)
+
+
+def _retries_panel(records: Sequence[dict]) -> str:
+    envelope = _timebase(records)
+    events = [
+        r
+        for r in records
+        if r.get("type") in ("fail", "reclaim", "quarantine", "stop")
+    ]
+    if not events:
+        return _panel(
+            "panel-campaign-retries",
+            "Retries & quarantines",
+            _note("clean campaign — no failures, reclaims or stops"),
+        )
+    rows_html = []
+    for record in events:
+        ts = _record_ts(record)
+        offset = (
+            _fmt_s(ts - envelope[0])
+            if ts is not None and envelope is not None
+            else "-"
+        )
+        rows_html.append(
+            "<tr>"
+            f"<td>{escape(offset)}</td>"
+            f"<td>{escape(str(record.get('job', '-'))[:16])}</td>"
+            f"<td>{escape(str(record.get('type')))}</td>"
+            f"<td>{escape(str(record.get('kind', '')))}</td>"
+            f"<td>{escape(str(record.get('reason', ''))[:120])}</td>"
+            "</tr>"
+        )
+    body = (
+        '<table class="data"><thead><tr><th>t+</th><th>job</th>'
+        "<th>event</th><th>kind</th><th>reason</th></tr></thead>"
+        f'<tbody>{"".join(rows_html)}</tbody></table>'
+    )
+    caption = (
+        f"{len(events)} failure-path event(s) in journal order; t+ offsets "
+        "from the earliest journalled record"
+        + ("" if envelope else " (unavailable: journal predates wall clocks)")
+    )
+    return _panel(
+        "panel-campaign-retries", "Retries & quarantines", body, caption
+    )
+
+
+def _regression_panel(
+    records: Sequence[dict],
+    base_records: Sequence[dict] | None,
+    tolerance: float,
+) -> str:
+    if base_records is None:
+        return _panel(
+            "panel-campaign-regression",
+            "Regression vs baseline",
+            _note(
+                "no baseline campaign given — pass --baseline DIR to "
+                "compare per-job wall times against a previous campaign"
+            ),
+        )
+    rows = campaign_regressions(records, base_records, tolerance)
+    if not rows:
+        return _panel(
+            "panel-campaign-regression",
+            "Regression vs baseline",
+            _note(
+                "no job was computed (cache-free) in both campaigns — "
+                "nothing to compare"
+            ),
+        )
+    regressed = [r for r in rows if r["regressed"]]
+    table = "".join(
+        "<tr>"
+        f"<td>{escape(r['job'][:16])}</td>"
+        f"<td>{_fmt_s(r['base_s'])}</td>"
+        f"<td>{_fmt_s(r['current_s'])}</td>"
+        f"<td>{r['ratio']:.2f}×</td>"
+        f"<td>{'REGRESSED' if r['regressed'] else 'ok'}</td>"
+        "</tr>"
+        for r in rows
+    )
+    body = _bar_chart(
+        [r["job"][:8] for r in rows],
+        [r["ratio"] for r in rows],
+        y_label="current / baseline wall",
+        y_fmt=lambda v: f"{v:.1f}×",
+        tip=lambda label, v: f"{label}: {v:.2f}× baseline",
+    )
+    body += (
+        '<table class="data"><thead><tr><th>job</th><th>baseline</th>'
+        "<th>current</th><th>ratio</th><th>verdict</th></tr></thead>"
+        f"<tbody>{table}</tbody></table>"
+    )
+    caption = (
+        f"{len(rows)} job(s) computed in both campaigns; tolerance "
+        f"{tolerance:g}× (the obs check-bench contract) — "
+        + (
+            f"{len(regressed)} regression(s)"
+            if regressed
+            else "no regressions"
+        )
+    )
+    return _panel(
+        "panel-campaign-regression", "Regression vs baseline", body, caption
+    )
+
+
+def _jobs_panel(state: dict, manifests: Sequence["RunManifest"]) -> str:
+    jobs = state.get("jobs", {})
+    if not jobs:
+        return _panel(
+            "panel-campaign-jobs", "Jobs", _note("no jobs journalled")
+        )
+    by_job: dict[str, "RunManifest"] = {}
+    for manifest in manifests:
+        job_id = manifest.results.get("job_id")
+        if isinstance(job_id, str):
+            by_job[job_id] = manifest
+    order = state.get("job_order") or list(jobs)
+    rows = []
+    for job_id in order:
+        job = jobs.get(job_id)
+        if job is None:
+            continue
+        manifest = by_job.get(job_id)
+        final_t = (
+            _num(manifest.results.get("final_T")) if manifest else None
+        )
+        final_dl = (
+            _num(manifest.results.get("final_DL")) if manifest else None
+        )
+        sha = job.get("result_sha") or ""
+        rows.append(
+            "<tr>"
+            f"<td>{escape(str(job_id)[:16])}</td>"
+            f"<td>{escape(str(job.get('status')))}</td>"
+            f"<td>{int(job.get('attempts', 0))}</td>"
+            f"<td>{'hit' if job.get('cached') else ''}</td>"
+            f"<td>{f'{final_t:.4f}' if final_t is not None else '-'}</td>"
+            f"<td>{_fmt_ppm(final_dl) if final_dl is not None else '-'}</td>"
+            f"<td>{escape(str(sha)[:12])}</td>"
+            f"<td>{escape(str(job.get('last_error') or '')[:80])}</td>"
+            "</tr>"
+        )
+    body = (
+        '<table class="data"><thead><tr><th>job</th><th>status</th>'
+        "<th>attempts</th><th>store</th><th>T</th><th>DL ppm</th>"
+        "<th>result sha</th><th>last error</th></tr></thead>"
+        f'<tbody>{"".join(rows)}</tbody></table>'
+    )
+    caption = (
+        "scheduling order; T / DL ppm come from per-job manifests when "
+        "present"
+    )
+    return _panel("panel-campaign-jobs", "Jobs", body, caption)
+
+
+# ---------------------------------------------------------------------------
+# Document assembly
+# ---------------------------------------------------------------------------
+def build_campaign_report(
+    state: dict,
+    records: Sequence[dict],
+    manifests: Sequence["RunManifest"] = (),
+    base_records: Sequence[dict] | None = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+    source: str | None = None,
+) -> str:
+    """Render the full campaign report HTML.
+
+    ``state`` is a replayed :meth:`CampaignState.to_payload` dict and
+    ``records`` the journal records it was folded from; ``manifests`` are
+    the campaign's per-job run manifests (empty is fine — panels degrade);
+    ``base_records`` enables the regression strip.  The output is a
+    complete standalone document — no scripts, no external references.
+    """
+    records = list(records)
+    manifests = list(manifests)
+    jobs = state.get("jobs", {})
+    subtitle = (
+        f"{len(jobs)} job(s) · {len(records)} journal record(s)"
+        + (f" · {source}" if source else "")
+    )
+    panels = (
+        _summary_panel(state, records)
+        + _gantt_panel(records)
+        + _sweep_panel(state, manifests)
+        + _cache_panel(state, records)
+        + _retries_panel(records)
+        + _regression_panel(records, base_records, tolerance)
+        + _jobs_panel(state, manifests)
+    )
+    title = f"campaign {state.get('name', '?')}"
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en">\n<head>\n<meta charset="utf-8">\n'
+        '<meta name="viewport" content="width=device-width, initial-scale=1">\n'
+        f"<title>{escape(title)} — sweep report</title>\n"
+        f"<style>{_CSS}</style>\n</head>\n<body>\n"
+        f"<header><h1>Sweep report: {escape(str(state.get('name', '?')))}</h1>"
+        f"<p>{escape(subtitle)}</p></header>\n"
+        f"<main>{panels}</main>\n"
+        "<footer>generated by python -m repro campaign report — "
+        "self-contained, no external resources; hover any mark for exact "
+        "values</footer>\n"
+        "</body>\n</html>\n"
+    )
+
+
+def write_campaign_report(
+    path: str,
+    state: dict,
+    records: Sequence[dict],
+    manifests: Sequence["RunManifest"] = (),
+    base_records: Sequence[dict] | None = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+    source: str | None = None,
+) -> int:
+    """Write the campaign report to ``path``; returns bytes written."""
+    document = build_campaign_report(
+        state,
+        records,
+        manifests=manifests,
+        base_records=base_records,
+        tolerance=tolerance,
+        source=source,
+    )
+    data = document.encode("utf-8")
+    with open(path, "wb") as sink:
+        sink.write(data)
+    return len(data)

@@ -3,11 +3,14 @@
 Subcommands operate on the JSON-lines trace files ``--trace`` appends
 (:mod:`repro.obs.manifest`) and on the ``BENCH_*.json`` benchmark records:
 
-``list FILE... [--json] [--limit N]``
+``list [FILE...] [--campaign DIR] [--json] [--limit N]``
     One row per recorded run: benchmark, configuration hash, git revision,
     engine, cache status and the headline results — a quick answer to "what
     ran, when, and what came out".  ``--json`` emits the rows as a JSON
-    array for scripting; ``--limit N`` keeps only the most recent N runs.
+    array for scripting; ``--limit N`` keeps only the most recent N runs;
+    ``--campaign DIR`` discovers every per-job manifest history a campaign
+    directory holds (its own ``manifests.jsonl`` plus any inside the result
+    store) and adds a job-id column to each row.
 ``html [--manifests FILE]... [--out report.html] [--last N]``
     Render the self-contained HTML dashboard (:mod:`repro.obs.html`) over
     one or more manifest histories: run-history trends, coverage and DL(T)
@@ -63,7 +66,16 @@ def build_obs_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_list = sub.add_parser("list", help="tabulate the runs in trace files")
-    p_list.add_argument("files", nargs="+", metavar="FILE")
+    p_list.add_argument("files", nargs="*", metavar="FILE")
+    p_list.add_argument(
+        "--campaign",
+        metavar="DIR",
+        help=(
+            "discover per-job manifest histories inside a campaign "
+            "directory (manifests.jsonl plus any under its result store) "
+            "and label each row with its job id"
+        ),
+    )
     p_list.add_argument(
         "--json",
         action="store_true",
@@ -136,7 +148,20 @@ def build_obs_parser() -> argparse.ArgumentParser:
 # ---------------------------------------------------------------------------
 # list
 # ---------------------------------------------------------------------------
-def _manifest_row(index: int, source: str, manifest: RunManifest) -> list[str]:
+def _job_id(manifest: RunManifest) -> str | None:
+    """The campaign job id a manifest was written under, if any.
+
+    Campaign supervisors stamp ``results["job_id"]`` (and ``results
+    ["campaign"]``) into every per-job manifest; standalone runs carry
+    neither.
+    """
+    job_id = (manifest.results or {}).get("job_id")
+    return str(job_id) if isinstance(job_id, str) and job_id else None
+
+
+def _manifest_row(
+    index: int, source: str, manifest: RunManifest, with_job: bool = False
+) -> list[str]:
     engine = manifest.engine or {}
     engine_label = str(engine.get("engine", "?"))
     # "kind" (python/numpy) appeared with the engine registry; manifests
@@ -151,7 +176,7 @@ def _manifest_row(index: int, source: str, manifest: RunManifest) -> list[str]:
     final_dl = results.get("final_DL")
     theta_max = results.get("theta_max_fit")
     wall = (manifest.stage_timings or {}).get("pipeline.run")
-    return [
+    row = [
         str(index),
         source,
         manifest.benchmark,
@@ -163,6 +188,10 @@ def _manifest_row(index: int, source: str, manifest: RunManifest) -> list[str]:
         f"{1e6 * float(final_dl):.0f}" if final_dl is not None else "-",
         f"{wall:.2f}" if wall is not None else "-",
     ]
+    if with_job:
+        job_id = _job_id(manifest)
+        row.insert(2, job_id[:12] if job_id else "-")
+    return row
 
 
 def _manifest_json_row(
@@ -191,12 +220,52 @@ def _manifest_json_row(
             1e6 * float(final_dl) if final_dl is not None else None
         ),
         "wall_s": float(wall) if wall is not None else None,
+        "job_id": _job_id(manifest),
+        "campaign": (manifest.results or {}).get("campaign"),
     }
 
 
+def _campaign_manifest_files(campaign_dir: str) -> list[str]:
+    """Manifest histories a campaign directory holds.
+
+    The supervisor's own ``manifests.jsonl`` first, then any appended
+    beside payloads in the (possibly shared) result store, recursively.
+    """
+    from pathlib import Path
+
+    home = Path(campaign_dir)
+    paths = []
+    if (home / "manifests.jsonl").is_file():
+        paths.append(home / "manifests.jsonl")
+    results = home / "results"
+    if results.is_dir():
+        paths.extend(sorted(results.rglob("manifests.jsonl")))
+    return [str(p) for p in paths]
+
+
 def _list_main(
-    files: list[str], as_json: bool = False, limit: int | None = None
+    files: list[str],
+    as_json: bool = False,
+    limit: int | None = None,
+    campaign: str | None = None,
 ) -> int:
+    files = list(files)
+    if campaign is not None:
+        discovered = _campaign_manifest_files(campaign)
+        if not discovered and not files:
+            print(
+                f"error: no manifest histories found under campaign "
+                f"directory {campaign}",
+                file=sys.stderr,
+            )
+            return 2
+        files.extend(discovered)
+    if not files:
+        print(
+            "error: no trace files given (pass FILE... or --campaign DIR)",
+            file=sys.stderr,
+        )
+        return 2
     entries: list[tuple[int, str, RunManifest]] = []
     for path in files:
         try:
@@ -219,24 +288,28 @@ def _list_main(
             )
         )
         return 0
-    rows = [_manifest_row(i, p, m) for i, p, m in entries]
+    with_job = campaign is not None
+    rows = [_manifest_row(i, p, m, with_job=with_job) for i, p, m in entries]
     if not rows:
         print("no runs recorded")
         return 0
+    headers = [
+        "#",
+        "file",
+        "benchmark",
+        "config",
+        "git",
+        "cache",
+        "engine",
+        "theta_max",
+        "DL ppm",
+        "wall s",
+    ]
+    if with_job:
+        headers.insert(2, "job")
     print(
         _table(
-            [
-                "#",
-                "file",
-                "benchmark",
-                "config",
-                "git",
-                "cache",
-                "engine",
-                "theta_max",
-                "DL ppm",
-                "wall s",
-            ],
+            headers,
             rows,
             title=f"{len(rows)} recorded run(s)",
         )
@@ -511,7 +584,9 @@ def obs_main(argv: list[str] | None = None) -> int:
     """Entry point of ``python -m repro obs``."""
     args = build_obs_parser().parse_args(argv)
     if args.command == "list":
-        return _list_main(args.files, args.as_json, args.limit)
+        return _list_main(
+            args.files, args.as_json, args.limit, campaign=args.campaign
+        )
     if args.command == "html":
         return _html_main(args.manifests, args.out, args.last)
     if args.command == "diff":

@@ -377,6 +377,17 @@ def _note(text: str) -> str:
     return f'<p class="note">{escape(text)}</p>'
 
 
+def _tiles(entries: Sequence[tuple[object, str, str]]) -> str:
+    """A tile strip: ``(value, label, cls)`` triples, cls in ink/good/crit."""
+    tiles = "".join(
+        f'<div class="tile"><div class="tile-value {cls}">'
+        f"{escape(str(value))}</div>"
+        f'<div class="tile-label">{escape(label)}</div></div>'
+        for value, label, cls in entries
+    )
+    return f'<div class="tiles">{tiles}</div>'
+
+
 # ---------------------------------------------------------------------------
 # Data extraction from manifests
 # ---------------------------------------------------------------------------
@@ -752,10 +763,8 @@ def _analysis_panel(manifests: Sequence["RunManifest"]) -> str:
     methods = ", ".join(
         f"{name}: {count}" for name, count in sorted(by_method.items())
     )
-    tiles = "".join(
-        f'<div class="tile"><div class="tile-value {cls}">{value}</div>'
-        f'<div class="tile-label">{escape(label)}</div></div>'
-        for value, label, cls in (
+    body = _tiles(
+        (
             (prover.get("n_proved", 0), "faults proved untestable", "ink"),
             (prover.get("n_screened", "?"), "faults screened", "ink"),
             (prover.get("depth", "?"), "recursion depth", "ink"),
@@ -770,7 +779,6 @@ def _analysis_panel(manifests: Sequence["RunManifest"]) -> str:
             (podem.get("learned_conflicts", 0), "learned conflicts", "ink"),
         )
     )
-    body = f'<div class="tiles">{tiles}</div>'
     if methods:
         body += f'<p class="note">proofs by method — {escape(methods)}</p>'
     caption = (
@@ -801,10 +809,8 @@ def _resilience_panel(manifests: Sequence["RunManifest"]) -> str:
             _note("no resilience records in this history"),
         )
     degraded_cls = "crit" if degraded else "good"
-    tiles = "".join(
-        f'<div class="tile"><div class="tile-value {cls}">{value}</div>'
-        f'<div class="tile-label">{escape(label)}</div></div>'
-        for value, label, cls in (
+    body = _tiles(
+        (
             (degraded, "degraded run(s)", degraded_cls),
             (retries, "chunk retries", "ink"),
             (salvaged, "chunks salvaged", "ink"),
@@ -812,7 +818,6 @@ def _resilience_panel(manifests: Sequence["RunManifest"]) -> str:
             (recomputed, "stages recomputed", "ink"),
         )
     )
-    body = f'<div class="tiles">{tiles}</div>'
     caption = (
         f"aggregated over {reported} run(s) with resilience records; a "
         "degraded run completed but lost pool chunks to retries or the "

@@ -279,3 +279,57 @@ def test_campaign_gc_prunes_checkpoints_too(capsys, tmp_path):
     out = capsys.readouterr().out
     assert "removed 1 checkpoint dir(s)" in out
     assert not (ckpt_root / orphan.config_hash).exists()
+
+
+def test_campaign_status_stop_only_journal(capsys, tmp_path):
+    """A journal holding nothing but a stop record (a campaign killed
+    before its spec was submitted) must explain itself, not crash."""
+    camp = tmp_path / "camp"
+    camp.mkdir()
+    with Journal(camp) as journal:
+        journal.append({"type": "stop", "reason": "SIGTERM"})
+    assert main(["campaign", "status", "--dir", str(camp)]) == 0
+    out = capsys.readouterr().out
+    assert "stopped before any job started" in out
+    assert "SIGTERM" in out
+    assert "resume will wait" in out
+
+
+def test_campaign_status_follow_exits_when_complete(capsys, tmp_path):
+    spec = _write_spec(tmp_path)
+    camp = _campaign(tmp_path)
+    assert main(["campaign", "run", spec, "--dir", camp, "--workers", "0"]) == 0
+    capsys.readouterr()
+    # The campaign is already finished: --follow renders once and returns.
+    assert main(
+        ["campaign", "status", "--dir", camp, "--follow", "--interval", "0.05"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "DONE" in out or "done" in out
+
+
+def test_campaign_status_follow_rejects_bad_interval(capsys, tmp_path):
+    spec = _write_spec(tmp_path)
+    camp = _campaign(tmp_path)
+    assert main(["campaign", "run", spec, "--dir", camp, "--workers", "0"]) == 0
+    capsys.readouterr()
+    assert main(
+        ["campaign", "status", "--dir", camp, "--follow", "--interval", "0"]
+    ) == 2
+    assert "--interval must be positive" in capsys.readouterr().err
+
+
+def test_campaign_status_is_read_only(tmp_path):
+    spec = _write_spec(tmp_path)
+    camp = _campaign(tmp_path)
+    assert main(["campaign", "run", spec, "--dir", camp, "--workers", "0"]) == 0
+    journal_path = tmp_path / "camp" / "journal.jsonl"
+    before = journal_path.read_bytes()
+    # Tear the tail: an appendable open would heal (rewrite) the file.
+    journal_path.write_bytes(before[:-3])
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        assert main(["campaign", "status", "--dir", camp]) == 0
+    assert journal_path.read_bytes() == before[:-3]

@@ -191,7 +191,10 @@ def test_compaction_round_trip(tmp_path):
     assert (tmp_path / "snapshot.json").exists()
     assert (tmp_path / "journal.jsonl").read_text() == ""
     snapshot = journal.load_snapshot()
-    assert snapshot == {"last_seq": 3, "state": {"answer": 42}}
+    assert snapshot["last_seq"] == 3
+    assert snapshot["state"] == {"answer": 42}
+    # Compaction stamps its wall clock (trace/report use it as a marker).
+    assert isinstance(snapshot["compacted_ts"], float)
     # New appends continue the global sequence past the snapshot.
     assert journal.append(_note(50)) == 4
     replayed, last_seq = Journal(tmp_path).replay()
@@ -223,3 +226,30 @@ def test_corrupt_snapshot_always_raises(tmp_path):
     snapshot_path.write_text(json.dumps(payload))
     with pytest.raises(JournalCorruptError, match="digest"):
         Journal(tmp_path).replay()
+
+
+# ---------------------------------------------------------------------------
+# readonly mode (status --follow / trace / report open the journal this way)
+# ---------------------------------------------------------------------------
+def test_readonly_replay_leaves_torn_tail_untouched(tmp_path):
+    _write_journal(tmp_path, 2)
+    path = tmp_path / "journal.jsonl"
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) - 3])  # tear the last line
+    with pytest.warns(RuntimeWarning, match="torn tail"):
+        replayed, last_seq = Journal(tmp_path, readonly=True).replay()
+    assert last_seq == 0
+    assert len(replayed) == 1
+    # The observer must not heal the journal out from under the owner.
+    assert path.read_bytes() == data[: len(data) - 3]
+
+
+def test_readonly_journal_refuses_to_write(tmp_path):
+    from repro.campaign import JournalError
+
+    _write_journal(tmp_path, 1)
+    journal = Journal(tmp_path, readonly=True)
+    with pytest.raises(JournalError, match="read-only"):
+        journal.append(_note(9))
+    with pytest.raises(JournalError, match="read-only"):
+        journal.compact({"x": 1})

@@ -270,7 +270,11 @@ def test_request_stop_journals_clean_stop_and_resume_completes(tmp_path):
     assert not report.finished
     assert report.n_done == 0
     stops = _journal_records(tmp_path, "stop")
-    assert stops == [{"type": "stop", "reason": "unit-test"}]
+    # Records carry a wall-clock ``ts`` for the trace/report observers;
+    # replay ignores it (unknown keys are forward-compatible).
+    assert [
+        {k: v for k, v in stop.items() if k != "ts"} for stop in stops
+    ] == [{"type": "stop", "reason": "unit-test"}]
 
     resumed = _inline(tmp_path)
     report2 = resumed.run()  # no re-submission needed: jobs are journalled

@@ -254,3 +254,67 @@ def test_obs_html_renders_old_schema_history(tmp_path, capsys):
     assert code == 0
     assert "wrote" in capsys.readouterr().out
     assert "no per-run curves" in out.read_text()
+
+
+# ---------------------------------------------------------------------------
+# list --campaign: discover per-job manifests from a campaign directory
+# ---------------------------------------------------------------------------
+def _run_campaign_dir(tmp_path):
+    spec = tmp_path / "spec.json"
+    spec.write_text(
+        json.dumps(
+            {
+                "name": "obs-sweep",
+                "base": {"benchmark": "c17", "max_random_patterns": 16},
+                "grid": {"seed": [1, 2]},
+            }
+        )
+    )
+    camp = str(tmp_path / "camp")
+    assert (
+        main(["campaign", "run", str(spec), "--dir", camp, "--workers", "0"])
+        == 0
+    )
+    return camp
+
+
+def test_obs_list_campaign_discovers_job_manifests(tmp_path, capsys):
+    camp = _run_campaign_dir(tmp_path)
+    capsys.readouterr()
+    assert main(["obs", "list", "--campaign", camp]) == 0
+    out = capsys.readouterr().out
+    assert "2 recorded run(s)" in out
+    assert "job" in out  # the extra job-id column
+    # Job ids are config hashes; both 12-char prefixes must appear.
+    from repro.campaign import CampaignSpec
+    from repro.experiments import ExperimentConfig
+
+    spec = CampaignSpec(
+        name="obs-sweep",
+        base=ExperimentConfig(benchmark="c17", max_random_patterns=16),
+        grid={"seed": (1, 2)},
+    )
+    for job in spec.expand():
+        assert job.job_id[:12] in out
+
+
+def test_obs_list_campaign_json_carries_job_and_campaign(tmp_path, capsys):
+    camp = _run_campaign_dir(tmp_path)
+    capsys.readouterr()
+    assert main(["obs", "list", "--campaign", camp, "--json"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert len(rows) == 2
+    assert all(row["campaign"] == "obs-sweep" for row in rows)
+    assert all(row["job_id"] for row in rows)
+
+
+def test_obs_list_campaign_empty_dir_exits_2(tmp_path, capsys):
+    empty = tmp_path / "not-a-campaign"
+    empty.mkdir()
+    assert main(["obs", "list", "--campaign", str(empty)]) == 2
+    assert "no manifest histories" in capsys.readouterr().err
+
+
+def test_obs_list_without_files_or_campaign_exits_2(capsys):
+    assert main(["obs", "list"]) == 2
+    assert "no trace files" in capsys.readouterr().err
